@@ -1,0 +1,44 @@
+//! Criterion benchmarks of one federated round: FedAvg vs FedDA (Restart
+//! and Explore), measuring the end-to-end cost of local updates +
+//! aggregation + evaluation at a fixed federation size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedda::experiment::{Dataset, Experiment, ExperimentConfig, Framework};
+use fedda::fl::{FedAvg, FedDa};
+use fedda_bench::{experiment_model, experiment_train};
+
+fn one_round_config() -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: Dataset::DblpLike,
+        scale: 0.0015,
+        num_clients: 4,
+        rounds: 1,
+        runs: 1,
+        model: experiment_model(false),
+        train: experiment_train(),
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+fn bench_round(c: &mut Criterion) {
+    let exp = Experiment::new(one_round_config());
+    let mut group = c.benchmark_group("fl_round");
+    group.bench_function("fedavg", |b| {
+        b.iter(|| exp.run_framework(&Framework::FedAvg(FedAvg::vanilla())))
+    });
+    group.bench_function("fedda_restart", |b| {
+        b.iter(|| exp.run_framework(&Framework::FedDa(FedDa::restart())))
+    });
+    group.bench_function("fedda_explore", |b| {
+        b.iter(|| exp.run_framework(&Framework::FedDa(FedDa::explore())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_round
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the Simple-HGN encoder: forward pass and full
+//! forward+backward step on a DBLP-like graph, comparing the Simple-HGN
+//! encoder against its GAT ablation (the cost of edge-type attention).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedda_data::{dblp_like, PresetOptions};
+use fedda_hetgraph::LinkSampler;
+use fedda_hgn::{GraphView, HgnConfig, SimpleHgn};
+use fedda_tensor::{Graph, TapeBindings};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_encoder(c: &mut Criterion) {
+    let g = dblp_like(&PresetOptions { scale: 0.002, seed: 1, ..Default::default() }).graph;
+    let mut group = c.benchmark_group("hgn_encoder");
+    for (label, cfg) in [
+        ("simple_hgn", HgnConfig::default()),
+        ("gat", HgnConfig::default().gat()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (model, params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
+        let view = GraphView::new(&g, cfg.add_self_loops);
+        group.bench_function(format!("{label}_forward"), |b| {
+            b.iter(|| {
+                let mut graph = Graph::new();
+                let mut tb = TapeBindings::new();
+                model.encode::<StdRng>(&mut graph, &mut tb, &params, &view, None)
+            })
+        });
+        let sampler = LinkSampler::new(&g);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let pos = sampler.all_positives();
+        let examples = sampler.with_negatives(&pos[..256.min(pos.len())], 1, &mut rng2);
+        let targets: Arc<Vec<f32>> =
+            Arc::new(examples.iter().map(|e| if e.label { 1.0 } else { 0.0 }).collect());
+        group.bench_function(format!("{label}_forward_backward"), |b| {
+            b.iter(|| {
+                let mut graph = Graph::new();
+                let mut tb = TapeBindings::new();
+                let emb =
+                    model.encode::<StdRng>(&mut graph, &mut tb, &params, &view, None);
+                let logits = model.score_links(&mut graph, &mut tb, &params, emb, &examples);
+                let loss = graph.bce_with_logits(logits, targets.clone());
+                graph.backward(loss);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encoder
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Non-IIDness sweep (beyond the paper): how FedDA's advantage over FedAvg
+//! moves with the *strength* of the local bias. The paper fixes
+//! `r_a = 0.3, r_b = 0.05`; sweeping `r_b` from `r_a` (IID-like) down to
+//! near zero (extreme specialisation) traces the regime where dynamic
+//! activation pays off.
+//!
+//! Usage: `cargo run -p fedda-bench --release --bin noniid_sweep [--quick]`
+
+use fedda::data::{non_iidness, partition_non_iid, PartitionConfig};
+use fedda::experiment::Dataset;
+use fedda::fl::{FedAvg, FedDa, FlConfig, FlSystem};
+use fedda::hetgraph::split::split_edges;
+use fedda::table::TextTable;
+use fedda_bench::{base_config, experiment_model, experiment_train, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = Options::from_env();
+    let cfg = base_config(Dataset::DblpLike, &opts);
+    let m = opts.get("clients").unwrap_or(8usize);
+    let preset = fedda::data::PresetOptions {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let generated = fedda::data::dblp_like(&preset);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5B11);
+    let split = split_edges(&generated.graph, 0.15, &mut rng);
+
+    println!(
+        "== Non-IIDness sweep: DBLP-like, M={m}, {} rounds, r_a = 0.30 ==\n",
+        cfg.rounds
+    );
+    let mut table = TextTable::new(&[
+        "r_b",
+        "non-IIDness",
+        "FedAvg AUC",
+        "FedDA AUC",
+        "gain",
+        "uplink ratio",
+    ]);
+    for r_b in [0.30, 0.15, 0.05, 0.01] {
+        let pcfg = PartitionConfig {
+            num_clients: m,
+            r_a: 0.30,
+            r_b,
+            specialized_types_per_client: 2,
+            seed: cfg.seed,
+        };
+        let clients = partition_non_iid(&split.train, &pcfg);
+        let bias = non_iidness(&clients);
+        let fl_cfg = FlConfig {
+            rounds: cfg.rounds,
+            model: experiment_model(opts.paper),
+            train: experiment_train(),
+            eval_negatives: 5,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let mut sys_avg =
+            FlSystem::new(&split.train, &split.test, clients.clone(), fl_cfg.clone());
+        let fedavg = FedAvg::vanilla().run(&mut sys_avg);
+        let mut sys_da = FlSystem::new(&split.train, &split.test, clients, fl_cfg);
+        let fedda = FedDa::explore().run(&mut sys_da);
+        table.row(&[
+            format!("{r_b:.2}"),
+            format!("{bias:.3}"),
+            format!("{:.4}", fedavg.best_auc()),
+            format!("{:.4}", fedda.best_auc()),
+            format!("{:+.4}", fedda.best_auc() - fedavg.best_auc()),
+            format!(
+                "{:.2}",
+                fedda.comm.total_uplink_units() as f64
+                    / fedavg.comm.total_uplink_units().max(1) as f64
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: as r_b shrinks the federation grows more biased (non-IIDness\n\
+         column) and dynamic activation's savings and relative accuracy matter\n\
+         more — the regime the paper targets."
+    );
+}

@@ -1,0 +1,84 @@
+//! Table 2 — link prediction results (ROC-AUC and MRR, mean ± std over
+//! runs) for Global / Local / FedAvg / FedDA-Restart / FedDA-Explore on
+//! DBLP-like (M ∈ {4, 8, 16}) and Amazon-like (M ∈ {8, 16}) federations.
+//!
+//! Usage: `cargo run -p fedda-bench --release --bin table2 [--quick|--paper]`
+//! Optional: `--dataset dblp|amazon` to run one dataset only.
+
+use fedda::experiment::{Dataset, Experiment, Framework};
+use fedda::fl::{FedAvg, FedDa};
+use fedda::report;
+use fedda::table::TextTable;
+use fedda_bench::{base_config, pm, Options};
+use serde_json::json;
+use std::path::Path;
+
+fn main() {
+    let opts = Options::from_env();
+    let which = opts.get_str("dataset").map(str::to_string);
+    let mut json_blobs = Vec::new();
+
+    let grid: &[(Dataset, &[usize])] = &[
+        (Dataset::DblpLike, &[4, 8, 16]),
+        (Dataset::AmazonLike, &[8, 16]),
+    ];
+
+    for &(dataset, client_counts) in grid {
+        if let Some(w) = &which {
+            let keep = match dataset {
+                Dataset::DblpLike => w.eq_ignore_ascii_case("dblp"),
+                Dataset::AmazonLike => w.eq_ignore_ascii_case("amazon"),
+            };
+            if !keep {
+                continue;
+            }
+        }
+        for &m in client_counts {
+            let mut cfg = base_config(dataset, &opts);
+            cfg.num_clients = m;
+            let exp = Experiment::new(cfg);
+            println!(
+                "== Table 2: {} with M={} clients ({} runs, {} rounds, scale {}) ==",
+                dataset.name(),
+                m,
+                exp.config().runs,
+                exp.config().rounds,
+                exp.config().scale
+            );
+            let frameworks = [
+                Framework::Global,
+                Framework::Local,
+                Framework::FedAvg(FedAvg::vanilla()),
+                Framework::FedDa(FedDa::restart()),
+                Framework::FedDa(FedDa::explore()),
+            ];
+            let mut table =
+                TextTable::new(&["Framework", "ROC-AUC", "MRR", "Best AUC", "Uplink units"]);
+            let mut results = Vec::new();
+            for fw in &frameworks {
+                let res = exp.run_framework(fw);
+                table.row(&[
+                    res.name.clone(),
+                    pm(&res.final_auc),
+                    pm(&res.final_mrr),
+                    pm(&res.best_auc),
+                    format!("{:.0}", res.uplink_units.mean),
+                ]);
+                results.push(res);
+            }
+            println!("{}", table.render());
+            json_blobs.push(report::experiment_to_json(
+                &format!("table2_{}_M{}", dataset.name(), m),
+                json!({"dataset": dataset.name(), "clients": m,
+                       "rounds": exp.config().rounds, "runs": exp.config().runs,
+                       "scale": exp.config().scale}),
+                &results,
+            ));
+        }
+    }
+
+    if let Some(path) = opts.get_str("json") {
+        report::write_json(Path::new(path), &json!(json_blobs)).expect("write json");
+        println!("wrote {path}");
+    }
+}

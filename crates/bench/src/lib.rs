@@ -1,0 +1,187 @@
+//! Shared plumbing for the experiment binaries: a tiny flag parser (no CLI
+//! dependency) and the default configurations each table/figure uses.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f64>`   — dataset size multiplier (default per binary)
+//! * `--rounds <n>`    — communication rounds (default 40)
+//! * `--runs <n>`      — repetitions (default 3; paper uses 5)
+//! * `--clients <n>`   — override the client count where applicable
+//! * `--seed <n>`      — base seed (default 0)
+//! * `--json <path>`   — also dump machine-readable results
+//! * `--quick`         — smallest settings (CI smoke)
+//! * `--paper`         — paper-like settings (5 runs, 40 rounds)
+
+use fedda::experiment::{Dataset, ExperimentConfig};
+use fedda::hgn::{HgnConfig, TrainConfig};
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    flags: HashMap<String, String>,
+    /// `--quick` present.
+    pub quick: bool,
+    /// `--paper` present.
+    pub paper: bool,
+}
+
+impl Options {
+    /// Parse `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--paper" => out.paper = true,
+                flag if flag.starts_with("--") => {
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("missing value for {flag}"));
+                    out.flags.insert(flag[2..].to_string(), value);
+                }
+                other => panic!("unexpected argument: {other}"),
+            }
+        }
+        out
+    }
+
+    /// Look up a typed flag.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T>
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.flags.get(name).map(|v| {
+            v.parse::<T>()
+                .unwrap_or_else(|e| panic!("bad value for --{name}: {v} ({e:?})"))
+        })
+    }
+
+    /// String flag.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+}
+
+/// The model configuration the experiments use: a CPU-sized Simple-HGN
+/// (2 layers × 2 heads; the paper's 3×3 is available behind `--paper`).
+pub fn experiment_model(paper: bool) -> HgnConfig {
+    if paper {
+        HgnConfig::paper_default()
+    } else {
+        HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, edge_emb_dim: 8, ..Default::default() }
+    }
+}
+
+/// The local-training configuration the experiments use.
+pub fn experiment_train() -> TrainConfig {
+    TrainConfig { local_epochs: 2, lr: 5e-3, ..Default::default() }
+}
+
+/// Build a baseline [`ExperimentConfig`] for a dataset from parsed options.
+pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
+    let default_scale = match dataset {
+        Dataset::AmazonLike => 0.008,
+        Dataset::DblpLike => 0.0025,
+    };
+    let mut cfg = ExperimentConfig {
+        dataset,
+        scale: opts.get("scale").unwrap_or(default_scale),
+        num_clients: opts.get("clients").unwrap_or(8),
+        rounds: opts.get("rounds").unwrap_or(if opts.paper { 40 } else { 20 }),
+        runs: opts.get("runs").unwrap_or(if opts.paper { 5 } else { 3 }),
+        model: experiment_model(opts.paper),
+        train: experiment_train(),
+        seed: opts.get("seed").unwrap_or(0),
+        ..Default::default()
+    };
+    if opts.quick {
+        cfg.scale = default_scale / 2.0;
+        cfg.rounds = cfg.rounds.min(4);
+        cfg.runs = cfg.runs.min(2);
+    }
+    cfg
+}
+
+/// Format a `MeanStd` the way the paper's tables do.
+pub fn pm(m: &fedda::metrics::MeanStd) -> String {
+    m.fmt_pm()
+}
+
+/// Render a curve as a compact sparkline-style series for the figure
+/// binaries (round: value pairs, 8 per line).
+pub fn render_curve(name: &str, curve: &[f64]) -> String {
+    let mut out = format!("{name}:\n");
+    for (i, chunk) in curve.chunks(8).enumerate() {
+        out.push_str("  ");
+        for (j, v) in chunk.iter().enumerate() {
+            out.push_str(&format!("r{:02}={:.4} ", i * 8 + j, v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let o = Options::from_args(
+            ["--scale", "0.01", "--runs", "5", "--quick"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(o.get::<f64>("scale"), Some(0.01));
+        assert_eq!(o.get::<usize>("runs"), Some(5));
+        assert!(o.quick);
+        assert!(!o.paper);
+        assert_eq!(o.get::<u64>("seed"), None);
+    }
+
+    #[test]
+    fn base_config_respects_overrides() {
+        let o = Options::from_args(
+            ["--clients", "16", "--rounds", "10"].iter().map(|s| s.to_string()),
+        );
+        let cfg = base_config(Dataset::DblpLike, &o);
+        assert_eq!(cfg.num_clients, 16);
+        assert_eq!(cfg.rounds, 10);
+        assert_eq!(cfg.runs, 3);
+    }
+
+    #[test]
+    fn quick_mode_shrinks_everything() {
+        let o = Options::from_args(["--quick"].iter().map(|s| s.to_string()));
+        let cfg = base_config(Dataset::AmazonLike, &o);
+        assert!(cfg.rounds <= 4);
+        assert!(cfg.runs <= 2);
+    }
+
+    #[test]
+    fn paper_mode_uses_paper_model() {
+        let o = Options::from_args(["--paper"].iter().map(|s| s.to_string()));
+        let cfg = base_config(Dataset::DblpLike, &o);
+        assert_eq!(cfg.model.num_layers, 3);
+        assert_eq!(cfg.runs, 5);
+        assert_eq!(cfg.rounds, 40);
+    }
+
+    #[test]
+    fn render_curve_contains_rounds() {
+        let s = render_curve("FedAvg", &[0.5, 0.6, 0.7]);
+        assert!(s.contains("r00=0.5000"));
+        assert!(s.contains("r02=0.7000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn rejects_positional_args() {
+        let _ = Options::from_args(["oops".to_string()]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Experiment drivers: the configurations and multi-run loops behind every
+//! table and figure of the paper, so the bench binaries stay thin.
+
+use fedda_data::{
+    amazon_like, dblp_like, partition_iid, partition_non_iid, ClientData, PartitionConfig,
+    PresetOptions,
+};
+use fedda_fl::{
+    baselines, AggWeighting, FedAvg, FedDa, FlConfig, FlSystem, PrivacyConfig, RunResult,
+};
+use fedda_hetgraph::split::{split_edges, EdgeSplit};
+use fedda_hgn::{HgnConfig, TrainConfig};
+use fedda_metrics::{CurveRecorder, MeanStd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which benchmark heterograph to synthesise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Amazon-like: 1 node type, 2 edge types (paper's e-commerce graph).
+    AmazonLike,
+    /// DBLP-like: 3 node types, 5 edge types (paper's bibliographic graph).
+    DblpLike,
+}
+
+impl Dataset {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::AmazonLike => "Amazon",
+            Dataset::DblpLike => "DBLP",
+        }
+    }
+
+    /// The paper's test fraction for this dataset (§6.1: Amazon 10%,
+    /// DBLP 15%).
+    pub fn test_fraction(self) -> f64 {
+        match self {
+            Dataset::AmazonLike => 0.10,
+            Dataset::DblpLike => 0.15,
+        }
+    }
+}
+
+/// Full description of one experiment cell (a dataset × client-count ×
+/// framework grid point, repeated over several runs).
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Dataset preset.
+    pub dataset: Dataset,
+    /// Size multiplier passed to the generator (1.0 = paper scale).
+    pub scale: f64,
+    /// Number of clients `M`.
+    pub num_clients: usize,
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Independent repetitions (the paper uses 5).
+    pub runs: usize,
+    /// IID partition instead of the paper's non-IID protocol.
+    pub iid: bool,
+    /// Model architecture.
+    pub model: HgnConfig,
+    /// Local-training hyper-parameters.
+    pub train: TrainConfig,
+    /// Negatives per positive at evaluation time.
+    pub eval_negatives: usize,
+    /// Base seed; run `r` derives its own sub-seeds.
+    pub seed: u64,
+    /// Parallel client updates.
+    pub parallel: bool,
+    /// Aggregation weighting (Eq. 5's `p_i`; the paper uses uniform).
+    pub weighting: AggWeighting,
+    /// Optional client-side differential privacy (clip + Gaussian noise).
+    pub privacy: Option<PrivacyConfig>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            dataset: Dataset::DblpLike,
+            scale: 0.004,
+            num_clients: 8,
+            rounds: 40,
+            runs: 5,
+            iid: false,
+            model: HgnConfig::default(),
+            train: TrainConfig { local_epochs: 2, lr: 5e-3, ..Default::default() },
+            eval_negatives: 5,
+            seed: 0,
+            parallel: true,
+            weighting: AggWeighting::Uniform,
+            privacy: None,
+        }
+    }
+}
+
+/// A framework under comparison.
+#[derive(Clone, Debug)]
+pub enum Framework {
+    /// Centralised training on the full training graph (upper bound).
+    Global,
+    /// Per-client isolated training (lower bound, averaged).
+    Local,
+    /// FedAvg, optionally with random client/parameter fractions.
+    FedAvg(FedAvg),
+    /// FedDA with a concrete strategy configuration.
+    FedDa(FedDa),
+}
+
+impl Framework {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Framework::Global => "Global".into(),
+            Framework::Local => "Local".into(),
+            Framework::FedAvg(f)
+                if f.client_fraction >= 1.0 && f.param_fraction >= 1.0 =>
+            {
+                "FedAvg".into()
+            }
+            Framework::FedAvg(f) => {
+                format!("FedAvg(C={:.2},D={:.2})", f.client_fraction, f.param_fraction)
+            }
+            Framework::FedDa(f) => match f.strategy {
+                fedda_fl::Reactivation::Restart { .. } => "FedDA 1 (Restart)".into(),
+                fedda_fl::Reactivation::Explore { .. } => "FedDA 2 (Explore)".into(),
+            },
+        }
+    }
+}
+
+/// Aggregated outcome of running one framework `runs` times.
+#[derive(Clone, Debug)]
+pub struct FrameworkResult {
+    /// Framework display name.
+    pub name: String,
+    /// Final-round ROC-AUC over runs.
+    pub final_auc: MeanStd,
+    /// Final-round MRR over runs.
+    pub final_mrr: MeanStd,
+    /// Best-along-training ROC-AUC over runs.
+    pub best_auc: MeanStd,
+    /// Total uplink parameter units over runs (Table 3's measure).
+    pub uplink_units: MeanStd,
+    /// Per-round AUC curves across runs (empty for `Local`).
+    pub auc_curves: CurveRecorder,
+    /// Per-round MRR curves across runs (empty for `Local`).
+    pub mrr_curves: CurveRecorder,
+}
+
+/// One experiment cell: a generated + split dataset reused across
+/// frameworks and runs so comparisons share data.
+pub struct Experiment {
+    cfg: ExperimentConfig,
+    split: EdgeSplit,
+}
+
+impl Experiment {
+    /// Generate the dataset and the global train/test split.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        let opts = PresetOptions { scale: cfg.scale, seed: cfg.seed, ..Default::default() };
+        let generated = match cfg.dataset {
+            Dataset::AmazonLike => amazon_like(&opts),
+            Dataset::DblpLike => dblp_like(&opts),
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5B11);
+        let split = split_edges(&generated.graph, cfg.dataset.test_fraction(), &mut rng);
+        Self { cfg, split }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The global train/test split.
+    pub fn split(&self) -> &EdgeSplit {
+        &self.split
+    }
+
+    /// Seed of run `r`.
+    fn run_seed(&self, run: usize) -> u64 {
+        self.cfg.seed.wrapping_add(1 + run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Partition clients for run `r`.
+    pub fn clients_for_run(&self, run: usize) -> Vec<ClientData> {
+        let pcfg = PartitionConfig {
+            seed: self.run_seed(run),
+            ..PartitionConfig::paper_defaults(
+                self.cfg.num_clients,
+                self.split.train.schema().num_edge_types(),
+                0,
+            )
+        };
+        if self.cfg.iid {
+            partition_iid(&self.split.train, &pcfg)
+        } else {
+            partition_non_iid(&self.split.train, &pcfg)
+        }
+    }
+
+    /// Build a fresh federation for run `r` (fresh model init, fresh
+    /// partition; shared global split).
+    pub fn system_for_run(&self, run: usize) -> FlSystem {
+        let clients = self.clients_for_run(run);
+        let fl_cfg = FlConfig {
+            rounds: self.cfg.rounds,
+            model: self.cfg.model.clone(),
+            train: self.cfg.train.clone(),
+            eval_negatives: self.cfg.eval_negatives,
+            seed: self.run_seed(run),
+            parallel: self.cfg.parallel,
+            privacy: self.cfg.privacy,
+            weighting: self.cfg.weighting,
+        };
+        FlSystem::new(&self.split.train, &self.split.test, clients, fl_cfg)
+    }
+
+    /// Run one framework across all configured runs and aggregate.
+    pub fn run_framework(&self, framework: &Framework) -> FrameworkResult {
+        let mut final_aucs = Vec::with_capacity(self.cfg.runs);
+        let mut final_mrrs = Vec::with_capacity(self.cfg.runs);
+        let mut best_aucs = Vec::with_capacity(self.cfg.runs);
+        let mut uplinks = Vec::with_capacity(self.cfg.runs);
+        let mut auc_curves = CurveRecorder::new();
+        let mut mrr_curves = CurveRecorder::new();
+        for run in 0..self.cfg.runs {
+            let mut system = self.system_for_run(run);
+            match framework {
+                Framework::Local => {
+                    let local = baselines::run_local_only(&system);
+                    final_aucs.push(local.auc_summary().mean);
+                    final_mrrs.push(local.mrr_summary().mean);
+                    best_aucs.push(local.auc_summary().mean);
+                    uplinks.push(0.0);
+                }
+                other => {
+                    let result: RunResult = match other {
+                        Framework::Global => baselines::run_global(&mut system),
+                        Framework::FedAvg(f) => f.run(&mut system),
+                        Framework::FedDa(f) => f.run(&mut system),
+                        Framework::Local => unreachable!(),
+                    };
+                    for eval in &result.curve {
+                        auc_curves.record(run, eval.round, eval.roc_auc);
+                        mrr_curves.record(run, eval.round, eval.mrr);
+                    }
+                    final_aucs.push(result.final_eval.roc_auc);
+                    final_mrrs.push(result.final_eval.mrr);
+                    best_aucs.push(result.best_auc());
+                    uplinks.push(result.comm.total_uplink_units() as f64);
+                }
+            }
+        }
+        FrameworkResult {
+            name: framework.name(),
+            final_auc: MeanStd::of(&final_aucs),
+            final_mrr: MeanStd::of(&final_mrrs),
+            best_auc: MeanStd::of(&best_aucs),
+            uplink_units: MeanStd::of(&uplinks),
+            auc_curves,
+            mrr_curves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            dataset: Dataset::AmazonLike,
+            scale: 0.002,
+            num_clients: 3,
+            rounds: 2,
+            runs: 2,
+            model: HgnConfig {
+                hidden_dim: 4,
+                num_layers: 1,
+                num_heads: 1,
+                edge_emb_dim: 4,
+                ..Default::default()
+            },
+            train: TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+            eval_negatives: 2,
+            seed: 7,
+            parallel: true,
+            iid: false,
+            weighting: Default::default(),
+            privacy: None,
+        }
+    }
+
+    #[test]
+    fn experiment_builds_consistent_systems() {
+        let exp = Experiment::new(quick_cfg());
+        let s1 = exp.system_for_run(0);
+        let s2 = exp.system_for_run(0);
+        assert_eq!(s1.global.flatten(), s2.global.flatten());
+        let s3 = exp.system_for_run(1);
+        assert_ne!(s1.global.flatten(), s3.global.flatten());
+        assert_eq!(s1.num_clients(), 3);
+    }
+
+    #[test]
+    fn run_framework_aggregates_over_runs() {
+        let exp = Experiment::new(quick_cfg());
+        let res = exp.run_framework(&Framework::FedAvg(FedAvg::vanilla()));
+        assert_eq!(res.final_auc.n, 2);
+        assert_eq!(res.auc_curves.num_runs(), 2);
+        assert_eq!(res.auc_curves.num_rounds(), 2);
+        assert!(res.uplink_units.mean > 0.0);
+        assert_eq!(res.name, "FedAvg");
+    }
+
+    #[test]
+    fn local_framework_has_no_curves() {
+        let exp = Experiment::new(quick_cfg());
+        let res = exp.run_framework(&Framework::Local);
+        assert_eq!(res.auc_curves.num_runs(), 0);
+        assert_eq!(res.final_auc.n, 2);
+        assert_eq!(res.uplink_units.mean, 0.0);
+    }
+
+    #[test]
+    fn framework_names_match_paper() {
+        assert_eq!(Framework::Global.name(), "Global");
+        assert_eq!(Framework::FedAvg(FedAvg::vanilla()).name(), "FedAvg");
+        assert_eq!(Framework::FedDa(FedDa::restart()).name(), "FedDA 1 (Restart)");
+        assert_eq!(Framework::FedDa(FedDa::explore()).name(), "FedDA 2 (Explore)");
+        assert_eq!(
+            Framework::FedAvg(FedAvg::with_fractions(0.8, 1.0)).name(),
+            "FedAvg(C=0.80,D=1.00)"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Non-federated baselines: `Global` (centralised training on the whole
+//! training graph — the paper's upper bound) and `Local` (each client
+//! trains alone — the lower bound; scores are averaged over clients).
+
+use crate::system::{FlSystem, RoundEval, RunResult};
+use fedda_hetgraph::LinkSampler;
+use fedda_hgn::train_local;
+use fedda_metrics::MeanStd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Train the model centrally on the global training graph for
+/// `system.config().rounds` outer steps (each of `E` local epochs, to match
+/// the federated compute budget), evaluating after each.
+pub fn run_global(system: &mut FlSystem) -> RunResult {
+    let mut result = RunResult::default();
+    let cfg = system.config().clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x61_0B_A1);
+    // The "server" trains directly on the evaluation (global training)
+    // graph: rebuild the pieces the clients normally own.
+    let graph = system.eval_graph().clone();
+    let view = fedda_hgn::GraphView::new(&graph, system.model.uses_self_loops());
+    let sampler = LinkSampler::new(&graph);
+    let positives = sampler.all_positives();
+    let mut params = system.global.clone();
+    for round in 0..cfg.rounds {
+        train_local(
+            system.model.as_ref(),
+            &mut params,
+            &view,
+            &sampler,
+            &positives,
+            &cfg.train,
+            &mut rng,
+        );
+        let eval = system.evaluate_params(&params, round);
+        result.curve.push(RoundEval { round, roc_auc: eval.roc_auc, mrr: eval.mrr });
+        result.final_eval = eval;
+    }
+    system.global = params;
+    result
+}
+
+/// Per-client local-only result.
+#[derive(Clone, Debug, Default)]
+pub struct LocalResult {
+    /// Final global-test AUC of each client's locally-trained model.
+    pub aucs: Vec<f64>,
+    /// Final global-test MRR of each client's locally-trained model.
+    pub mrrs: Vec<f64>,
+}
+
+impl LocalResult {
+    /// Mean ± std of client AUCs (the paper reports Local averaged over
+    /// clients).
+    pub fn auc_summary(&self) -> MeanStd {
+        MeanStd::of(&self.aucs)
+    }
+
+    /// Mean ± std of client MRRs.
+    pub fn mrr_summary(&self) -> MeanStd {
+        MeanStd::of(&self.mrrs)
+    }
+}
+
+/// Train each client alone (same per-round compute as the federated runs,
+/// no communication) and evaluate every client's model on the global test
+/// set.
+pub fn run_local_only(system: &FlSystem) -> LocalResult {
+    let cfg = system.config().clone();
+    let mut result = LocalResult::default();
+    for (i, client) in system.clients.iter().enumerate() {
+        let mut params = system.global.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10_CA_1 ^ (i as u64) << 8);
+        let sampler = LinkSampler::new(&client.data.graph);
+        for _round in 0..cfg.rounds {
+            train_local(
+                system.model.as_ref(),
+                &mut params,
+                &client.view,
+                &sampler,
+                &client.positives,
+                &cfg.train,
+                &mut rng,
+            );
+        }
+        let eval = system.evaluate_params(&params, cfg.rounds);
+        result.aucs.push(eval.roc_auc);
+        result.mrrs.push(eval.mrr);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests::tiny_system;
+
+    #[test]
+    fn global_baseline_trains_and_records_curve() {
+        let mut sys = tiny_system(2, 31);
+        let before = sys.global.flatten();
+        let result = run_global(&mut sys);
+        assert_eq!(result.curve.len(), sys.config().rounds);
+        assert_ne!(sys.global.flatten(), before, "global training must move parameters");
+        assert!(result.final_eval.roc_auc > 0.0);
+    }
+
+    #[test]
+    fn local_baseline_covers_every_client() {
+        let sys = tiny_system(3, 32);
+        let result = run_local_only(&sys);
+        assert_eq!(result.aucs.len(), 3);
+        assert_eq!(result.mrrs.len(), 3);
+        let s = result.auc_summary();
+        assert_eq!(s.n, 3);
+        assert!(s.mean > 0.0);
+    }
+}

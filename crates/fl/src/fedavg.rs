@@ -1,0 +1,125 @@
+//! FedAvg (McMahan et al., 2017) over the simulated federation, with the
+//! random client-fraction (`C`) and parameter-fraction (`D`) knobs of the
+//! paper's motivating study (§4, Fig. 2).
+//!
+//! `C = D = 1` is vanilla FedAvg: every round broadcasts the global model
+//! to all clients, runs `E` local epochs everywhere, and averages all
+//! returned parameters uniformly (Eqs. 4–5, `p_i = 1/M`).
+
+use crate::system::{FlSystem, RoundEval, RunResult};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// FedAvg protocol driver.
+#[derive(Clone, Debug)]
+pub struct FedAvg {
+    /// Fraction of clients randomly activated each round (Fig. 2's `C`).
+    pub client_fraction: f64,
+    /// Fraction of parameter units randomly gathered from each activated
+    /// client each round (Fig. 2's `D`).
+    pub param_fraction: f64,
+}
+
+impl Default for FedAvg {
+    fn default() -> Self {
+        Self { client_fraction: 1.0, param_fraction: 1.0 }
+    }
+}
+
+impl FedAvg {
+    /// Vanilla FedAvg.
+    pub fn vanilla() -> Self {
+        Self::default()
+    }
+
+    /// FedAvg with random partial activation.
+    pub fn with_fractions(client_fraction: f64, param_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&client_fraction) && client_fraction > 0.0);
+        assert!((0.0..=1.0).contains(&param_fraction) && param_fraction > 0.0);
+        Self { client_fraction, param_fraction }
+    }
+
+    /// Run `cfg.rounds` rounds, evaluating the global model after each.
+    pub fn run(&self, system: &mut FlSystem) -> RunResult {
+        let mut result = RunResult::default();
+        let m = system.num_clients();
+        let rounds = system.config().rounds;
+        let mut rng = StdRng::seed_from_u64(system.config().seed ^ 0xFEDA_A0A0);
+        let active_per_round = ((m as f64) * self.client_fraction).round().max(1.0) as usize;
+        for round in 0..rounds {
+            let mut order: Vec<usize> = (0..m).collect();
+            order.shuffle(&mut rng);
+            let mut active = order[..active_per_round.min(m)].to_vec();
+            active.sort_unstable();
+            let returns = system.run_local_round(&active, round);
+            let masks: Vec<Vec<bool>> = if self.param_fraction >= 1.0 {
+                system.full_masks(active.len())
+            } else {
+                (0..active.len())
+                    .map(|_| system.random_mask(self.param_fraction, &mut rng))
+                    .collect()
+            };
+            system.aggregate_masked(&returns, &masks);
+            result.comm.push(system.round_comm(&masks));
+            let eval = system.evaluate_global(round);
+            result.curve.push(RoundEval { round, roc_auc: eval.roc_auc, mrr: eval.mrr });
+            result.final_eval = eval;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests::tiny_system;
+
+    #[test]
+    fn vanilla_fedavg_transmits_everything() {
+        let mut sys = tiny_system(3, 11);
+        let result = FedAvg::vanilla().run(&mut sys);
+        let rounds = sys.config().rounds;
+        assert_eq!(result.curve.len(), rounds);
+        assert_eq!(result.comm.total_uplink_units(), rounds * 3 * sys.num_units());
+        assert_eq!(result.comm.total_activations(), rounds * 3);
+        assert!(result.final_eval.roc_auc > 0.0);
+    }
+
+    #[test]
+    fn client_fraction_reduces_activations() {
+        let mut sys = tiny_system(4, 12);
+        let result = FedAvg::with_fractions(0.5, 1.0).run(&mut sys);
+        let rounds = sys.config().rounds;
+        assert_eq!(result.comm.total_activations(), rounds * 2);
+        assert_eq!(result.comm.total_uplink_units(), rounds * 2 * sys.num_units());
+    }
+
+    #[test]
+    fn param_fraction_reduces_uplink_not_downlink() {
+        let mut sys = tiny_system(2, 13);
+        let result = FedAvg::with_fractions(1.0, 0.5).run(&mut sys);
+        let rounds = sys.config().rounds;
+        let full = rounds * 2 * sys.num_units();
+        assert!(result.comm.total_uplink_units() < full);
+        assert_eq!(result.comm.total_downlink_units(), full);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let mut s1 = tiny_system(3, 14);
+        let mut s2 = tiny_system(3, 14);
+        let r1 = FedAvg::vanilla().run(&mut s1);
+        let r2 = FedAvg::vanilla().run(&mut s2);
+        for (a, b) in r1.curve.iter().zip(&r2.curve) {
+            assert_eq!(a.roc_auc, b.roc_auc);
+        }
+        assert_eq!(s1.global.flatten(), s2.global.flatten());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_client_fraction_rejected() {
+        let _ = FedAvg::with_fractions(0.0, 1.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! FedDA — dynamic activation of clients and parameters (Algorithm 1).
+//!
+//! Per round `t`:
+//!
+//! 1. the server broadcasts the global model to the activated clients
+//!    `D_A^(t)` together with their request masks `I^(t)`;
+//! 2. activated clients run `E` local epochs and return the requested
+//!    parameter units;
+//! 3. the server averages each unit over the clients that returned it
+//!    (Eq. 6), keeping the previous value for unrequested units;
+//! 4. for every *disentangled* unit `k ∈ [N_d]`, clients whose returned
+//!    gradient was below the per-unit mean are not asked for `k` next round
+//!    (§5.3, Eq. 7);
+//! 5. clients whose remaining active units fall below `α · N_d` are
+//!    deactivated (§5.3);
+//! 6. a reactivation strategy restores exploration: `Restart` (Alg. 2)
+//!    resets everything when fewer than `β_r · M` clients remain, `Explore`
+//!    (Alg. 3) tops the active set back up to `β_e · M` with randomly
+//!    chosen deactivated clients, skipping those deactivated this round.
+
+use crate::system::{ClientReturn, FlSystem, RoundEval, RunResult};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Client reactivation strategy (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Reactivation {
+    /// Reset to all clients / all parameters when fewer than `beta_r * M`
+    /// clients would be active next round.
+    Restart {
+        /// The `β_r` threshold in `(0, 1)`.
+        beta_r: f64,
+    },
+    /// Keep at least `beta_e * M` clients active by randomly re-admitting
+    /// deactivated clients (with a one-round cool-down for clients
+    /// deactivated this round).
+    Explore {
+        /// The `β_e` threshold in `(0, 1)`.
+        beta_e: f64,
+    },
+}
+
+/// How the server decides a client's contribution to a unit was "trivial"
+/// (step 4 above).
+///
+/// The paper fixes the threshold at the mean and explicitly leaves "other
+/// settings to future work" (§5.3, footnote 2); the quantile and median
+/// variants implement that future work and are compared in the `ablations`
+/// bench.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum MaskRule {
+    /// §5.3's prose rule (our default): deactivate unit `k` for client `i`
+    /// when the L2 magnitude of its returned update for `k` is below the
+    /// mean magnitude over the clients that returned `k` this round.
+    #[default]
+    GradientMean,
+    /// Deactivate contributors below the median returned-gradient magnitude
+    /// (exactly half the contributors survive each round).
+    GradientMedian,
+    /// Deactivate contributors below the `q`-quantile of returned-gradient
+    /// magnitudes (`q = 0` disables masking, `q → 1` keeps only the single
+    /// strongest contributor).
+    GradientQuantile(
+        /// The quantile in `[0, 1)`.
+        f64,
+    ),
+    /// Eq. 7 as literally printed: deactivate when the aggregated value
+    /// exceeds the client's returned value (compared via unit means, since
+    /// our units are tensors).
+    LiteralEq7,
+}
+
+impl MaskRule {
+    /// The deactivation threshold over a set of contribution magnitudes,
+    /// or `None` when the rule is not threshold-based.
+    fn threshold(&self, magnitudes: &[f32]) -> Option<f32> {
+        match *self {
+            MaskRule::GradientMean => {
+                Some(magnitudes.iter().sum::<f32>() / magnitudes.len() as f32)
+            }
+            MaskRule::GradientMedian => Some(quantile(magnitudes, 0.5)),
+            MaskRule::GradientQuantile(q) => {
+                assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
+                Some(quantile(magnitudes, q))
+            }
+            MaskRule::LiteralEq7 => None,
+        }
+    }
+}
+
+/// The `q`-quantile of a non-empty slice (linear interpolation between
+/// order statistics).
+fn quantile(values: &[f32], q: f64) -> f32 {
+    debug_assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN magnitude"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = (pos - lo as f64) as f32;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// FedDA protocol driver.
+///
+/// ```no_run
+/// use fedda_fl::{FedDa, MaskRule, Reactivation};
+/// // The paper's FedDA 2 with a custom exploration floor and the
+/// // footnote-2 quantile threshold:
+/// let fedda = FedDa {
+///     strategy: Reactivation::Explore { beta_e: 0.5 },
+///     alpha: 0.5,
+///     mask_rule: MaskRule::GradientQuantile(0.4),
+///     explore_cooldown: true,
+/// };
+/// assert!(fedda.validate().is_ok());
+/// // fedda.run(&mut system) drives the federation.
+/// ```
+#[derive(Clone, Debug)]
+pub struct FedDa {
+    /// Reactivation strategy (the paper's FedDA 1 = `Restart`, FedDA 2 =
+    /// `Explore`).
+    pub strategy: Reactivation,
+    /// Occupancy threshold `α`: a client keeping fewer than `α · N_d`
+    /// active disentangled units is deactivated.
+    pub alpha: f64,
+    /// Mask-update rule.
+    pub mask_rule: MaskRule,
+    /// One-round cool-down before a just-deactivated client may be
+    /// re-explored (§5.2; the ablation turns this off).
+    pub explore_cooldown: bool,
+}
+
+impl FedDa {
+    /// FedDA 1: `Restart` with the paper's best hyper-parameters
+    /// (`β_r = 0.4`, `α = 0.5`).
+    pub fn restart() -> Self {
+        Self {
+            strategy: Reactivation::Restart { beta_r: 0.4 },
+            alpha: 0.5,
+            mask_rule: MaskRule::default(),
+            explore_cooldown: true,
+        }
+    }
+
+    /// FedDA 2: `Explore` with the paper's best hyper-parameters
+    /// (`β_e = 0.667`, `α = 0.5`).
+    pub fn explore() -> Self {
+        Self {
+            strategy: Reactivation::Explore { beta_e: 0.667 },
+            alpha: 0.5,
+            mask_rule: MaskRule::default(),
+            explore_cooldown: true,
+        }
+    }
+
+    /// Validate hyper-parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        let beta = match self.strategy {
+            Reactivation::Restart { beta_r } => beta_r,
+            Reactivation::Explore { beta_e } => beta_e,
+        };
+        if !(0.0..1.0).contains(&beta) {
+            return Err(format!("beta must be in (0,1), got {beta}"));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!("alpha must be in [0,1], got {}", self.alpha));
+        }
+        Ok(())
+    }
+
+    /// Run `cfg.rounds` rounds of FedDA.
+    pub fn run(&self, system: &mut FlSystem) -> RunResult {
+        self.validate().expect("invalid FedDA configuration");
+        let m = system.num_clients();
+        let n = system.num_units();
+        let rounds = system.config().rounds;
+        let disentangled: Vec<bool> = {
+            let ids = system.disentangled_ids();
+            let mut v = vec![false; n];
+            for id in ids {
+                v[id.index()] = true;
+            }
+            v
+        };
+        let n_d = disentangled.iter().filter(|&&d| d).count();
+        let mut rng = StdRng::seed_from_u64(system.config().seed ^ 0xDA_DA_DA);
+
+        // D_A^(0) = D, I^(0) = 1 (Algorithm 1 initialisation).
+        let mut active = vec![true; m];
+        let mut masks: Vec<Vec<bool>> = vec![vec![true; n]; m];
+        let mut result = RunResult::default();
+
+        for round in 0..rounds {
+            let active_list: Vec<usize> =
+                (0..m).filter(|&i| active[i]).collect();
+            debug_assert!(!active_list.is_empty(), "active set must never be empty");
+            let mask_density = active_list
+                .iter()
+                .map(|&i| masks[i].iter().filter(|&&b| b).count() as f64 / n as f64)
+                .sum::<f64>()
+                / active_list.len() as f64;
+            let mut snapshot = crate::system::ActivationSnapshot {
+                active_clients: active_list.clone(),
+                mask_density,
+                ..Default::default()
+            };
+            let returns = system.run_local_round(&active_list, round);
+            let round_masks: Vec<Vec<bool>> =
+                active_list.iter().map(|&i| masks[i].clone()).collect();
+            system.aggregate_masked(&returns, &round_masks);
+            result.comm.push(system.round_comm(&round_masks));
+
+            // Step 4: per-unit mask update for disentangled units.
+            self.update_masks(system, &returns, &mut masks, &disentangled);
+
+            // Step 5: deactivate under-occupied clients.
+            let mut just_deactivated = Vec::new();
+            if n_d > 0 {
+                for &i in &active_list {
+                    let kept = masks[i]
+                        .iter()
+                        .zip(&disentangled)
+                        .filter(|&(&mk, &d)| d && mk)
+                        .count();
+                    if (kept as f64) < self.alpha * n_d as f64 {
+                        active[i] = false;
+                        just_deactivated.push(i);
+                    }
+                }
+            }
+            snapshot.deactivated = just_deactivated.clone();
+
+            // Step 6: reactivation.
+            match self.strategy {
+                Reactivation::Restart { beta_r } => {
+                    let n_active = active.iter().filter(|&&a| a).count();
+                    if (n_active as f64) < beta_r * m as f64 {
+                        snapshot.restarted = true;
+                        snapshot.reactivated =
+                            (0..m).filter(|&i| !active[i]).collect();
+                        active.iter_mut().for_each(|a| *a = true);
+                        for mask in &mut masks {
+                            mask.iter_mut().for_each(|b| *b = true);
+                        }
+                    }
+                }
+                Reactivation::Explore { beta_e } => {
+                    let target = ((beta_e * m as f64).round() as usize).clamp(1, m);
+                    let n_active = active.iter().filter(|&&a| a).count();
+                    if n_active < target {
+                        let mut pool: Vec<usize> = (0..m)
+                            .filter(|&i| {
+                                !active[i]
+                                    && !(self.explore_cooldown
+                                        && just_deactivated.contains(&i))
+                            })
+                            .collect();
+                        pool.shuffle(&mut rng);
+                        for &i in pool.iter().take(target - n_active) {
+                            active[i] = true;
+                            masks[i].iter_mut().for_each(|b| *b = true);
+                            snapshot.reactivated.push(i);
+                        }
+                    }
+                }
+            }
+            // Safety net: never enter a round with an empty active set
+            // (possible when alpha is aggressive and beta small).
+            if active.iter().all(|&a| !a) {
+                active.iter_mut().for_each(|a| *a = true);
+                for mask in &mut masks {
+                    mask.iter_mut().for_each(|b| *b = true);
+                }
+            }
+
+            result.activation_trace.push(snapshot);
+            let eval = system.evaluate_global(round);
+            result.curve.push(RoundEval { round, roc_auc: eval.roc_auc, mrr: eval.mrr });
+            result.final_eval = eval;
+        }
+        result
+    }
+
+    /// Step 4 of the round: update request masks from the returned
+    /// gradients. Only units a client actually returned this round
+    /// (`mask[i][k]` was set) are re-scored; deactivated units stay off
+    /// until a reactivation resets them (Eq. 7's "otherwise keep" branch).
+    fn update_masks(
+        &self,
+        system: &FlSystem,
+        returns: &[ClientReturn],
+        masks: &mut [Vec<bool>],
+        disentangled: &[bool],
+    ) {
+        let n = disentangled.len();
+        for (k, &is_d) in disentangled.iter().enumerate().take(n) {
+            if !is_d {
+                continue;
+            }
+            match self.mask_rule {
+                MaskRule::LiteralEq7 => {
+                    let agg_mean = system.global.get(fedda_tensor::ParamId::from_index(k));
+                    let agg_mean = agg_mean.value().mean();
+                    for r in returns {
+                        if masks[r.client][k] {
+                            let client_mean =
+                                r.params.get(fedda_tensor::ParamId::from_index(k)).value().mean();
+                            if agg_mean > client_mean {
+                                masks[r.client][k] = false;
+                            }
+                        }
+                    }
+                }
+                rule => {
+                    // Threshold over returned-gradient magnitudes of this
+                    // round's contributors.
+                    let contributions: Vec<(usize, f32)> = returns
+                        .iter()
+                        .filter(|r| masks[r.client][k])
+                        .map(|r| (r.client, r.unit_delta[k]))
+                        .collect();
+                    if contributions.len() < 2 {
+                        continue; // a single contributor is never below threshold
+                    }
+                    let magnitudes: Vec<f32> =
+                        contributions.iter().map(|&(_, d)| d).collect();
+                    let threshold =
+                        rule.threshold(&magnitudes).expect("threshold-based rule");
+                    for &(client, delta) in &contributions {
+                        if delta < threshold {
+                            masks[client][k] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedavg::FedAvg;
+    use crate::system::tests::tiny_system;
+
+    #[test]
+    fn fedda_restart_runs_and_saves_uplink() {
+        let mut sys = tiny_system(4, 21);
+        let fedavg_total = {
+            let mut s2 = tiny_system(4, 21);
+            FedAvg::vanilla().run(&mut s2).comm.total_uplink_units()
+        };
+        let result = FedDa::restart().run(&mut sys);
+        assert_eq!(result.curve.len(), sys.config().rounds);
+        assert!(
+            result.comm.total_uplink_units() <= fedavg_total,
+            "FedDA must not transmit more than FedAvg ({} vs {fedavg_total})",
+            result.comm.total_uplink_units()
+        );
+    }
+
+    #[test]
+    fn fedda_explore_keeps_minimum_active_set() {
+        let mut sys = tiny_system(6, 22);
+        let fedda = FedDa::explore();
+        let result = fedda.run(&mut sys);
+        // β_e = 0.667 of 6 = 4: every round after masks shrink must still
+        // activate ≥ 4 clients... except round 0 which activates all 6.
+        for rc in result.comm.rounds() {
+            assert!(rc.active_clients >= 4, "explore floor violated: {}", rc.active_clients);
+        }
+    }
+
+    #[test]
+    fn masks_shrink_after_first_round() {
+        let mut sys = tiny_system(4, 23);
+        let fedda = FedDa::explore();
+        let result = fedda.run(&mut sys);
+        let rounds = result.comm.rounds();
+        // Round 0 transmits everything; later rounds transmit less (per
+        // active client) because disentangled units get masked.
+        let per_client_0 = rounds[0].uplink_units as f64 / rounds[0].active_clients as f64;
+        let per_client_1 = rounds[1].uplink_units as f64 / rounds[1].active_clients as f64;
+        assert!(per_client_1 < per_client_0, "{per_client_1} !< {per_client_0}");
+    }
+
+    #[test]
+    fn literal_eq7_rule_also_runs() {
+        let mut sys = tiny_system(3, 24);
+        let mut fedda = FedDa::restart();
+        fedda.mask_rule = MaskRule::LiteralEq7;
+        let result = fedda.run(&mut sys);
+        assert_eq!(result.curve.len(), sys.config().rounds);
+    }
+
+    #[test]
+    fn single_client_fedda_degenerates_to_fedavg() {
+        // With M = 1 every unit has a single contributor, so the
+        // gradient-mean rule never masks anything and the federation is
+        // exactly FedAvg with one client.
+        let mut sys_da = tiny_system(1, 29);
+        let fedda = FedDa::explore().run(&mut sys_da);
+        let mut sys_avg = tiny_system(1, 29);
+        let fedavg = crate::FedAvg::vanilla().run(&mut sys_avg);
+        assert_eq!(
+            fedda.comm.total_uplink_units(),
+            fedavg.comm.total_uplink_units()
+        );
+        for (a, b) in fedda.curve.iter().zip(&fedavg.curve) {
+            assert_eq!(a.roc_auc, b.roc_auc, "round {}", a.round);
+        }
+        assert_eq!(sys_da.global.flatten(), sys_avg.global.flatten());
+    }
+
+    #[test]
+    fn activation_trace_is_consistent() {
+        let mut sys = tiny_system(5, 28);
+        let result = FedDa::explore().run(&mut sys);
+        assert_eq!(result.activation_trace.len(), sys.config().rounds);
+        let first = &result.activation_trace[0];
+        assert_eq!(first.active_clients.len(), 5, "round 0 activates everyone");
+        assert!((first.mask_density - 1.0).abs() < 1e-12, "round 0 masks are full");
+        for snap in &result.activation_trace {
+            assert!(!snap.active_clients.is_empty());
+            assert!((0.0..=1.0).contains(&snap.mask_density));
+            // deactivated clients were active this round
+            for d in &snap.deactivated {
+                assert!(snap.active_clients.contains(d));
+            }
+            // reactivated clients were inactive at reactivation time
+            for r in &snap.reactivated {
+                assert!(!snap.active_clients.contains(r) || snap.restarted);
+            }
+        }
+        // FedAvg leaves the trace empty.
+        let fedavg = crate::FedAvg::vanilla().run(&mut tiny_system(3, 28));
+        assert!(fedavg.activation_trace.is_empty());
+    }
+
+    #[test]
+    fn quantile_helper_interpolates() {
+        assert_eq!(super::quantile(&[1.0, 3.0], 0.5), 2.0);
+        assert_eq!(super::quantile(&[5.0], 0.0), 5.0);
+        assert_eq!(super::quantile(&[1.0, 2.0, 3.0, 4.0], 0.0), 1.0);
+        assert!((super::quantile(&[1.0, 2.0, 3.0, 4.0], 0.5) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_rules_mask_more_aggressively_with_higher_q() {
+        let mut low = FedDa::explore();
+        low.mask_rule = MaskRule::GradientQuantile(0.25);
+        let mut high = FedDa::explore();
+        high.mask_rule = MaskRule::GradientQuantile(0.9);
+        let r_low = low.run(&mut tiny_system(6, 26));
+        let r_high = high.run(&mut tiny_system(6, 26));
+        assert!(
+            r_high.comm.total_uplink_units() <= r_low.comm.total_uplink_units(),
+            "q=0.9 should mask at least as much as q=0.25: {} vs {}",
+            r_high.comm.total_uplink_units(),
+            r_low.comm.total_uplink_units()
+        );
+    }
+
+    #[test]
+    fn median_rule_runs() {
+        let mut fedda = FedDa::restart();
+        fedda.mask_rule = MaskRule::GradientMedian;
+        let result = fedda.run(&mut tiny_system(4, 27));
+        assert!(result.final_eval.roc_auc.is_finite());
+    }
+
+    #[test]
+    fn validate_rejects_bad_betas() {
+        let mut f = FedDa::restart();
+        f.strategy = Reactivation::Restart { beta_r: 1.5 };
+        assert!(f.validate().is_err());
+        let mut f = FedDa::explore();
+        f.alpha = -0.1;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn seeded_fedda_reproduces() {
+        let r1 = FedDa::explore().run(&mut tiny_system(4, 25));
+        let r2 = FedDa::explore().run(&mut tiny_system(4, 25));
+        for (a, b) in r1.curve.iter().zip(&r2.curve) {
+            assert_eq!(a.roc_auc, b.roc_auc);
+        }
+        assert_eq!(
+            r1.comm.total_uplink_units(),
+            r2.comm.total_uplink_units()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # fedda-fl
+//!
+//! The federated-learning layer of the FedDA reproduction: an in-process
+//! simulated federation of heterograph clients plus the training protocols
+//! the paper compares.
+//!
+//! * [`FlSystem`] — server + clients, parallel local updates (crossbeam),
+//!   masked aggregation (Eq. 6), deterministic per-round evaluation and
+//!   communication accounting (units *and* scalars, uplink and downlink);
+//! * [`FedAvg`] — the baseline protocol, with the random client-fraction
+//!   `C` and parameter-fraction `D` knobs of the motivating study (Fig. 2);
+//! * [`FedDa`] — dynamic activation of clients and parameters
+//!   (Algorithm 1), with the `Restart` (Alg. 2) and `Explore` (Alg. 3)
+//!   reactivation strategies, the occupancy threshold `α`, and both mask
+//!   update rules (§5.3 prose vs. literal Eq. 7);
+//! * [`baselines`] — centralised `Global` and isolated `Local` training;
+//! * [`analysis`] — the closed-form efficiency model of §5.4.3
+//!   (Eqs. 8–11).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod baselines;
+mod comm;
+mod fedavg;
+mod fedda;
+mod system;
+
+pub use comm::{CommLog, RoundComm};
+pub use fedavg::FedAvg;
+pub use fedda::{FedDa, MaskRule, Reactivation};
+pub use system::{
+    ActivationSnapshot, AggWeighting, Client, ClientReturn, FlConfig, FlSystem, PrivacyConfig,
+    RoundEval, RunResult,
+};

@@ -1,0 +1,713 @@
+//! The simulated federated system: a server-side global model, `M` clients
+//! holding sub-heterographs, and the primitives every protocol (FedAvg,
+//! FedDA, ablations) is built from — broadcast, parallel local update,
+//! masked aggregation (Eq. 6) and global evaluation.
+
+use crate::comm::{CommLog, RoundComm};
+use fedda_data::ClientData;
+use fedda_hetgraph::{HeteroGraph, LinkExample, LinkSampler};
+use fedda_hgn::{
+    evaluate, train_local, EvalResult, GraphView, HgnConfig, LinkPredictor, SimpleHgn,
+    TrainConfig,
+};
+use fedda_tensor::{ParamId, ParamSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Client-side update privacy: clip-and-noise in the style of DP-FedAvg
+/// (the paper's conclusion flags privacy on top of FedDA as future work —
+/// this implements the standard mechanism so that direction is exercised).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyConfig {
+    /// L2 clip bound `C` on the whole returned update `θ_i - θ`.
+    pub clip_norm: f32,
+    /// Gaussian noise multiplier `σ`: each returned scalar gets
+    /// `N(0, (σ·C)²)` noise added after clipping.
+    pub noise_multiplier: f32,
+}
+
+impl PrivacyConfig {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clip_norm <= 0.0 {
+            return Err("clip_norm must be positive".into());
+        }
+        if self.noise_multiplier < 0.0 {
+            return Err("noise_multiplier must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// How the server weights client contributions when averaging (Eq. 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AggWeighting {
+    /// `p_i = 1/|contributors|` — the paper's choice (§5.1.2: the server
+    /// has no prior knowledge of local data sizes).
+    #[default]
+    Uniform,
+    /// `p_i ∝` the client's local positive-edge count (classic FedAvg
+    /// weighting; requires the server to learn the sizes).
+    BySampleCount,
+}
+
+/// Configuration shared by every federated run.
+#[derive(Clone, Debug)]
+pub struct FlConfig {
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Model architecture (identical on server and clients).
+    pub model: HgnConfig,
+    /// Local-update hyper-parameters (Algorithm 1's `B`, `E`, learning
+    /// rate).
+    pub train: TrainConfig,
+    /// Negatives per positive for evaluation metrics.
+    pub eval_negatives: usize,
+    /// Run seed: drives model init, client sampling and evaluation.
+    pub seed: u64,
+    /// Run client updates on crossbeam threads.
+    pub parallel: bool,
+    /// Optional clip-and-noise on returned updates.
+    pub privacy: Option<PrivacyConfig>,
+    /// Aggregation weighting (Eq. 5's `p_i`).
+    pub weighting: AggWeighting,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 40,
+            model: HgnConfig::default(),
+            train: TrainConfig::default(),
+            eval_negatives: 5,
+            seed: 0,
+            parallel: true,
+            privacy: None,
+            weighting: AggWeighting::Uniform,
+        }
+    }
+}
+
+/// One client's immutable state inside the simulator.
+pub struct Client {
+    /// The client's local data (graph + specialised edge types).
+    pub data: ClientData,
+    /// Precomputed message-passing view of the local graph.
+    pub view: GraphView,
+    /// Training positives: edges of the specialised types only (§6.1 — a
+    /// biased client's downstream task covers only what it specialises in).
+    pub positives: Vec<LinkExample>,
+    seed: u64,
+}
+
+/// What a client sends back after a local round.
+pub struct ClientReturn {
+    /// Client index.
+    pub client: usize,
+    /// Locally-updated parameters.
+    pub params: ParamSet,
+    /// Per-unit L2 distance between the updated and broadcast parameters —
+    /// the "returned gradient" magnitude FedDA scores contributions with.
+    pub unit_delta: Vec<f32>,
+}
+
+/// Per-round evaluation snapshot of the global model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundEval {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global-test ROC-AUC.
+    pub roc_auc: f64,
+    /// Global-test MRR.
+    pub mrr: f64,
+}
+
+/// Per-round snapshot of FedDA's activation state (empty for protocols
+/// without dynamic activation).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ActivationSnapshot {
+    /// Clients active at the start of the round.
+    pub active_clients: Vec<usize>,
+    /// Mean fraction of parameter units requested per active client.
+    pub mask_density: f64,
+    /// Clients deactivated during the round.
+    pub deactivated: Vec<usize>,
+    /// Clients reactivated during the round (Restart counts everyone it
+    /// brings back).
+    pub reactivated: Vec<usize>,
+    /// Whether a full `Restart` reset fired this round.
+    pub restarted: bool,
+}
+
+/// Result of one full federated run.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// Per-round global evaluation.
+    pub curve: Vec<RoundEval>,
+    /// Communication log.
+    pub comm: CommLog,
+    /// Final-round evaluation.
+    pub final_eval: EvalResult,
+    /// FedDA's per-round activation trace (empty for FedAvg/baselines).
+    pub activation_trace: Vec<ActivationSnapshot>,
+}
+
+impl RunResult {
+    /// Best test AUC along the run.
+    pub fn best_auc(&self) -> f64 {
+        self.curve.iter().map(|e| e.roc_auc).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// First round whose AUC reaches `threshold`.
+    pub fn rounds_to_auc(&self, threshold: f64) -> Option<usize> {
+        self.curve.iter().position(|e| e.roc_auc >= threshold)
+    }
+}
+
+/// The simulated federation.
+pub struct FlSystem {
+    /// The shared model architecture (Simple-HGN by default; any
+    /// [`LinkPredictor`] via [`FlSystem::with_model`]).
+    pub model: Box<dyn LinkPredictor>,
+    /// Server-side global parameters.
+    pub global: ParamSet,
+    /// Clients.
+    pub clients: Vec<Client>,
+    cfg: FlConfig,
+    eval_graph: HeteroGraph,
+    eval_view: GraphView,
+    test_positives: Vec<LinkExample>,
+}
+
+impl FlSystem {
+    /// Assemble a federation.
+    ///
+    /// * `global_train` — the training split of the global graph; used for
+    ///   evaluation-time message passing (the simulator's, not the
+    ///   server's, knowledge).
+    /// * `global_test` — held-out edges evaluated each round.
+    /// * `clients` — output of the partitioner.
+    pub fn new(
+        global_train: &HeteroGraph,
+        global_test: &HeteroGraph,
+        clients: Vec<ClientData>,
+        cfg: FlConfig,
+    ) -> Self {
+        assert!(!clients.is_empty(), "FlSystem needs at least one client");
+        assert!(cfg.rounds > 0, "FlSystem needs at least one round");
+        let mut init_rng = StdRng::seed_from_u64(cfg.seed);
+        let (model, global) =
+            SimpleHgn::init_params(global_train.schema(), &cfg.model, &mut init_rng);
+        Self::with_model(global_train, global_test, clients, cfg, Box::new(model), global)
+    }
+
+    /// Assemble a federation around an arbitrary [`LinkPredictor`] and its
+    /// freshly-initialised parameters — the seam that lets FedDA drive any
+    /// HGN (the paper's §6.1 claim; see the R-GCN integration test).
+    pub fn with_model(
+        global_train: &HeteroGraph,
+        global_test: &HeteroGraph,
+        clients: Vec<ClientData>,
+        cfg: FlConfig,
+        model: Box<dyn LinkPredictor>,
+        global: ParamSet,
+    ) -> Self {
+        assert!(!clients.is_empty(), "FlSystem needs at least one client");
+        assert!(cfg.rounds > 0, "FlSystem needs at least one round");
+        let client_seeds = fedda_data::client_seeds(cfg.seed, clients.len());
+        let clients = clients
+            .into_iter()
+            .zip(client_seeds)
+            .map(|(data, seed)| {
+                let view = GraphView::new(&data.graph, model.uses_self_loops());
+                let sampler = LinkSampler::new(&data.graph);
+                let positives = sampler.positives_of_types(&data.specialized);
+                Client { data, view, positives, seed }
+            })
+            .collect();
+        let eval_view = GraphView::new(global_train, model.uses_self_loops());
+        let test_sampler = LinkSampler::new(global_test);
+        let test_positives = test_sampler.all_positives();
+        Self {
+            model,
+            global,
+            clients,
+            cfg,
+            eval_graph: global_train.clone(),
+            eval_view,
+            test_positives,
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.cfg
+    }
+
+    /// The global training graph (evaluation-time message passing; also
+    /// what the `Global` baseline trains on).
+    pub fn eval_graph(&self) -> &HeteroGraph {
+        &self.eval_graph
+    }
+
+    /// Number of clients `M`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of parameter units `N`.
+    pub fn num_units(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Number of disentangled units `N_d`.
+    pub fn num_disentangled_units(&self) -> usize {
+        self.global.num_disentangled()
+    }
+
+    /// Ids of the disentangled units.
+    pub fn disentangled_ids(&self) -> Vec<ParamId> {
+        self.global
+            .iter()
+            .filter(|(_, p)| p.meta().disentangled)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Scalars per unit (for comm accounting).
+    pub fn unit_sizes(&self) -> Vec<usize> {
+        self.global.iter().map(|(_, p)| p.len()).collect()
+    }
+
+    /// Run local updates on the given clients, starting from the current
+    /// global model. Clients run in parallel when configured.
+    pub fn run_local_round(&self, active: &[usize], round: usize) -> Vec<ClientReturn> {
+        let work = |&i: &usize| -> ClientReturn {
+            let client = &self.clients[i];
+            let mut params = self.global.clone();
+            let mut rng =
+                StdRng::seed_from_u64(client.seed ^ (round as u64).wrapping_mul(0x9E37_79B9));
+            let sampler = LinkSampler::new(&client.data.graph);
+            train_local(
+                self.model.as_ref(),
+                &mut params,
+                &client.view,
+                &sampler,
+                &client.positives,
+                &self.cfg.train,
+                &mut rng,
+            );
+            if let Some(privacy) = self.cfg.privacy {
+                privacy.validate().expect("invalid PrivacyConfig");
+                apply_privacy(&mut params, &self.global, privacy, &mut rng);
+            }
+            let unit_delta = params.unit_l2_distances(&self.global);
+            ClientReturn { client: i, params, unit_delta }
+        };
+        if self.cfg.parallel && active.len() > 1 {
+            let mut out: Vec<Option<ClientReturn>> = Vec::new();
+            out.resize_with(active.len(), || None);
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(active.len());
+                for &i in active {
+                    handles.push(s.spawn(move |_| work(&i)));
+                }
+                for (slot, h) in out.iter_mut().zip(handles) {
+                    *slot = Some(h.join().expect("client thread panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            out.into_iter().map(|o| o.expect("missing client return")).collect()
+        } else {
+            active.iter().map(work).collect()
+        }
+    }
+
+    /// Masked federated averaging (Eq. 6): for every unit `k`,
+    /// `θ^{t+1}[k] = mean over {i : I_i[k] = 1} of θ_i[k]`; units no client
+    /// contributed keep their previous value.
+    ///
+    /// `masks[j]` corresponds to `returns[j]` and has one bool per unit.
+    pub fn aggregate_masked(&mut self, returns: &[ClientReturn], masks: &[Vec<bool>]) {
+        assert_eq!(returns.len(), masks.len(), "one mask per returning client");
+        let n = self.num_units();
+        let weights: Vec<f64> = returns
+            .iter()
+            .map(|ret| match self.cfg.weighting {
+                AggWeighting::Uniform => 1.0,
+                AggWeighting::BySampleCount => {
+                    self.clients[ret.client].positives.len().max(1) as f64
+                }
+            })
+            .collect();
+        let mut weight_sums = vec![0.0f64; n];
+        // Accumulate into f64 buffers for stable averaging.
+        let mut sums: Vec<Vec<f64>> = self
+            .global
+            .iter()
+            .map(|(_, p)| vec![0.0f64; p.len()])
+            .collect();
+        for ((ret, mask), &w) in returns.iter().zip(masks).zip(&weights) {
+            assert_eq!(mask.len(), n, "mask length must equal unit count");
+            for (k, (_, p)) in ret.params.iter().enumerate() {
+                if mask[k] {
+                    weight_sums[k] += w;
+                    for (s, &v) in sums[k].iter_mut().zip(p.value().as_slice()) {
+                        *s += w * f64::from(v);
+                    }
+                }
+            }
+        }
+        for (k, (_, p)) in self.global.iter_mut().enumerate() {
+            if weight_sums[k] > 0.0 {
+                let inv = 1.0 / weight_sums[k];
+                for (w, &s) in p.value_mut().as_mut_slice().iter_mut().zip(&sums[k]) {
+                    *w = (s * inv) as f32;
+                }
+            }
+        }
+    }
+
+    /// Communication counters for a round where `masks[j]` was requested
+    /// from each active client (downlink is the full model per the paper's
+    /// broadcast step).
+    pub fn round_comm(&self, masks: &[Vec<bool>]) -> RoundComm {
+        let sizes = self.unit_sizes();
+        let n_units = sizes.len();
+        let n_scalars: usize = sizes.iter().sum();
+        let mut uplink_units = 0usize;
+        let mut uplink_scalars = 0usize;
+        for mask in masks {
+            for (k, &m) in mask.iter().enumerate() {
+                if m {
+                    uplink_units += 1;
+                    uplink_scalars += sizes[k];
+                }
+            }
+        }
+        RoundComm {
+            active_clients: masks.len(),
+            uplink_units,
+            uplink_scalars,
+            downlink_units: masks.len() * n_units,
+            downlink_scalars: masks.len() * n_scalars,
+        }
+    }
+
+    /// Evaluate the current global model on the global test edges
+    /// (message passing over the global training graph). Deterministic per
+    /// round so frameworks sharing a seed are comparable.
+    pub fn evaluate_global(&self, round: usize) -> EvalResult {
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ 0xEAE5 ^ (round as u64).wrapping_mul(31));
+        let sampler = LinkSampler::new(&self.eval_graph);
+        evaluate(
+            self.model.as_ref(),
+            &self.global,
+            &self.eval_view,
+            &sampler,
+            &self.test_positives,
+            self.cfg.eval_negatives,
+            &mut rng,
+        )
+    }
+
+    /// Detailed evaluation of the current global model: per-edge-type AUC
+    /// breakdown (the fairness view), Hits@K and average precision.
+    pub fn evaluate_global_detailed(&self, round: usize) -> fedda_hgn::DetailedEvalResult {
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ 0xEAE5 ^ (round as u64).wrapping_mul(31));
+        let sampler = LinkSampler::new(&self.eval_graph);
+        fedda_hgn::evaluate_detailed(
+            self.model.as_ref(),
+            &self.global,
+            &self.eval_view,
+            &sampler,
+            &self.test_positives,
+            self.cfg.eval_negatives,
+            &mut rng,
+        )
+    }
+
+    /// Evaluate an arbitrary parameter set (used by the Local baseline).
+    pub fn evaluate_params(&self, params: &ParamSet, round: usize) -> EvalResult {
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ 0xEAE5 ^ (round as u64).wrapping_mul(31));
+        let sampler = LinkSampler::new(&self.eval_graph);
+        evaluate(
+            self.model.as_ref(),
+            params,
+            &self.eval_view,
+            &sampler,
+            &self.test_positives,
+            self.cfg.eval_negatives,
+            &mut rng,
+        )
+    }
+
+    /// Reset the global parameters to a fresh seeded Simple-HGN
+    /// initialisation (only meaningful for systems built with
+    /// [`FlSystem::new`]; systems built via [`FlSystem::with_model`] should
+    /// construct a new system instead).
+    pub fn reinit(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, params) =
+            SimpleHgn::init_params(self.eval_graph.schema(), &self.cfg.model, &mut rng);
+        assert_eq!(
+            params.len(),
+            self.global.len(),
+            "reinit requires the default Simple-HGN parameter layout"
+        );
+        self.global = params;
+    }
+
+    /// An all-true mask set for `m` clients (vanilla FedAvg's request).
+    pub fn full_masks(&self, m: usize) -> Vec<Vec<bool>> {
+        vec![vec![true; self.num_units()]; m]
+    }
+
+    /// Random unit mask with the given activation fraction (Fig. 2's `D`).
+    pub fn random_mask<R: Rng + ?Sized>(&self, fraction: f64, rng: &mut R) -> Vec<bool> {
+        let n = self.num_units();
+        let keep = ((n as f64) * fraction).round().max(1.0) as usize;
+        let mut idx: Vec<usize> = (0..n).collect();
+        // partial Fisher–Yates
+        for i in 0..keep.min(n) {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut mask = vec![false; n];
+        for &k in idx.iter().take(keep.min(n)) {
+            mask[k] = true;
+        }
+        mask
+    }
+}
+
+/// Clip the whole update `θ_i - θ` to `clip_norm` in L2, then add
+/// `N(0, (σ·C)²)` Gaussian noise to every returned scalar (DP-FedAvg's
+/// client-side mechanism).
+fn apply_privacy<R: rand::Rng + ?Sized>(
+    params: &mut ParamSet,
+    broadcast: &ParamSet,
+    privacy: PrivacyConfig,
+    rng: &mut R,
+) {
+    // Global L2 norm of the update across all units.
+    let mut norm_sq = 0.0f64;
+    for ((_, p), (_, b)) in params.iter().zip(broadcast.iter()) {
+        for (&x, &y) in p.value().as_slice().iter().zip(b.value().as_slice()) {
+            let d = f64::from(x) - f64::from(y);
+            norm_sq += d * d;
+        }
+    }
+    let norm = norm_sq.sqrt() as f32;
+    let scale = if norm > privacy.clip_norm && norm > 0.0 {
+        privacy.clip_norm / norm
+    } else {
+        1.0
+    };
+    let noise_std = privacy.noise_multiplier * privacy.clip_norm;
+    let ids: Vec<ParamId> = params.ids().collect();
+    for id in ids {
+        let base = broadcast.get(id).value().clone();
+        let value = params.get_mut(id).value_mut();
+        for (x, &b) in value.as_mut_slice().iter_mut().zip(base.as_slice()) {
+            let clipped = b + scale * (*x - b);
+            let noise = if noise_std > 0.0 {
+                let (n0, _) = fedda_tensor::init::box_muller(rng);
+                noise_std * n0
+            } else {
+                0.0
+            };
+            *x = clipped + noise;
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
+    use fedda_hetgraph::split::split_edges;
+
+    pub(crate) fn tiny_system(m: usize, seed: u64) -> FlSystem {
+        let g = dblp_like(&PresetOptions { scale: 0.0015, seed, ..Default::default() }).graph;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = split_edges(&g, 0.15, &mut rng);
+        let pcfg = PartitionConfig::paper_defaults(m, g.schema().num_edge_types(), seed);
+        let clients = partition_non_iid(&split.train, &pcfg);
+        let cfg = FlConfig {
+            rounds: 2,
+            model: HgnConfig {
+                hidden_dim: 4,
+                num_layers: 1,
+                num_heads: 2,
+                edge_emb_dim: 4,
+                ..Default::default()
+            },
+            train: TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+            eval_negatives: 3,
+            seed,
+            parallel: true,
+            privacy: None,
+            weighting: AggWeighting::Uniform,
+        };
+        FlSystem::new(&split.train, &split.test, clients, cfg)
+    }
+
+    #[test]
+    fn system_construction_counts() {
+        let sys = tiny_system(4, 1);
+        assert_eq!(sys.num_clients(), 4);
+        assert!(sys.num_units() > 0);
+        // 5 real edge types + self-loop shared unit; 1 layer → ≥5 per-type
+        assert!(sys.num_disentangled_units() >= 5);
+        assert_eq!(sys.disentangled_ids().len(), sys.num_disentangled_units());
+    }
+
+    #[test]
+    fn local_round_returns_moved_params() {
+        let sys = tiny_system(3, 2);
+        let returns = sys.run_local_round(&[0, 1, 2], 0);
+        assert_eq!(returns.len(), 3);
+        for r in &returns {
+            assert!(r.unit_delta.iter().any(|&d| d > 0.0), "client {} did not move", r.client);
+            assert_eq!(r.unit_delta.len(), sys.num_units());
+        }
+        // determinism: same round twice gives identical results
+        let again = sys.run_local_round(&[0, 1, 2], 0);
+        for (a, b) in returns.iter().zip(&again) {
+            assert_eq!(a.params.flatten(), b.params.flatten());
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_rounds_agree() {
+        let mut sys = tiny_system(3, 3);
+        let par = sys.run_local_round(&[0, 1, 2], 1);
+        sys.cfg.parallel = false;
+        let ser = sys.run_local_round(&[0, 1, 2], 1);
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.params.flatten(), b.params.flatten());
+        }
+    }
+
+    #[test]
+    fn aggregate_full_masks_is_plain_average() {
+        let mut sys = tiny_system(2, 4);
+        let returns = sys.run_local_round(&[0, 1], 0);
+        let masks = sys.full_masks(2);
+        let expect: Vec<f32> = {
+            let a = returns[0].params.flatten();
+            let b = returns[1].params.flatten();
+            a.iter().zip(&b).map(|(&x, &y)| ((f64::from(x) + f64::from(y)) / 2.0) as f32).collect()
+        };
+        sys.aggregate_masked(&returns, &masks);
+        let got = sys.global.flatten();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_units_keep_old_value_when_uncontributed() {
+        let mut sys = tiny_system(2, 5);
+        let before = sys.global.flatten();
+        let returns = sys.run_local_round(&[0, 1], 0);
+        // Mask out unit 0 for everyone.
+        let mut masks = sys.full_masks(2);
+        masks[0][0] = false;
+        masks[1][0] = false;
+        sys.aggregate_masked(&returns, &masks);
+        let size0 = sys.unit_sizes()[0];
+        assert_eq!(&sys.global.flatten()[..size0], &before[..size0]);
+    }
+
+    #[test]
+    fn round_comm_counts_masked_units() {
+        let sys = tiny_system(2, 6);
+        let mut masks = sys.full_masks(2);
+        let n = sys.num_units();
+        masks[1] = vec![false; n];
+        masks[1][3] = true;
+        let rc = sys.round_comm(&masks);
+        assert_eq!(rc.active_clients, 2);
+        assert_eq!(rc.uplink_units, n + 1);
+        assert_eq!(rc.downlink_units, 2 * n);
+        assert_eq!(rc.uplink_scalars, sys.global.num_scalars() + sys.unit_sizes()[3]);
+    }
+
+    #[test]
+    fn random_mask_has_requested_density() {
+        let sys = tiny_system(2, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mask = sys.random_mask(0.5, &mut rng);
+        let on = mask.iter().filter(|&&b| b).count();
+        let expect = ((sys.num_units() as f64) * 0.5).round() as usize;
+        assert_eq!(on, expect);
+    }
+
+    #[test]
+    fn privacy_clipping_bounds_the_update_norm() {
+        let mut sys = tiny_system(2, 9);
+        sys.cfg.privacy =
+            Some(PrivacyConfig { clip_norm: 0.05, noise_multiplier: 0.0 });
+        let returns = sys.run_local_round(&[0, 1], 0);
+        for r in &returns {
+            let norm: f32 = r.unit_delta.iter().map(|&d| d * d).sum::<f32>().sqrt();
+            assert!(norm <= 0.05 + 1e-4, "update norm {norm} exceeds the clip bound");
+        }
+    }
+
+    #[test]
+    fn privacy_noise_perturbs_returns() {
+        let mut sys = tiny_system(2, 10);
+        let clean = sys.run_local_round(&[0], 0);
+        sys.cfg.privacy =
+            Some(PrivacyConfig { clip_norm: 1.0, noise_multiplier: 0.1 });
+        let noisy = sys.run_local_round(&[0], 0);
+        assert_ne!(clean[0].params.flatten(), noisy[0].params.flatten());
+        assert!(!noisy[0].params.has_non_finite());
+        // And the whole protocol still runs end to end under DP.
+        let result = crate::FedDa::explore().run(&mut sys);
+        assert!(result.final_eval.roc_auc.is_finite());
+    }
+
+    #[test]
+    fn sample_count_weighting_biases_toward_larger_clients() {
+        let mut sys = tiny_system(2, 11);
+        let returns = sys.run_local_round(&[0, 1], 0);
+        let masks = sys.full_masks(2);
+        let uniform_expect: Vec<f32> = {
+            let a = returns[0].params.flatten();
+            let b = returns[1].params.flatten();
+            a.iter().zip(&b).map(|(&x, &y)| ((f64::from(x) + f64::from(y)) / 2.0) as f32).collect()
+        };
+        sys.cfg.weighting = AggWeighting::BySampleCount;
+        sys.aggregate_masked(&returns, &masks);
+        let weighted = sys.global.flatten();
+        let sizes: Vec<usize> =
+            sys.clients.iter().map(|c| c.positives.len()).collect();
+        if sizes[0] != sizes[1] {
+            assert_ne!(weighted, uniform_expect, "weighting had no effect");
+        }
+        // Weighted mean stays within the per-client envelope.
+        let a = returns[0].params.flatten();
+        let b = returns[1].params.flatten();
+        for ((w, &x), &y) in weighted.iter().zip(&a).zip(&b) {
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            assert!(*w >= lo - 1e-5 && *w <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_round() {
+        let sys = tiny_system(2, 8);
+        let a = sys.evaluate_global(3);
+        let b = sys.evaluate_global(3);
+        assert_eq!(a.roc_auc, b.roc_auc);
+        assert_eq!(a.mrr, b.mrr);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the FL layer's pure logic: the analytic
+//! communication model and the comm accounting.
+
+use fedda_fl::analysis::{
+    explore_expected_units, explore_ratio_bound, restart_expected_units, restart_period,
+    restart_ratio, EfficiencyInputs,
+};
+use fedda_fl::{CommLog, RoundComm};
+use proptest::prelude::*;
+
+fn inputs_strategy() -> impl Strategy<Value = EfficiencyInputs> {
+    (2usize..64, 10usize..200, 0.05f64..0.99, 0.0f64..0.99).prop_flat_map(
+        |(m, n, r_c, r_p)| {
+            (1usize..=n / 2).prop_map(move |n_d| EfficiencyInputs { m, n, n_d, r_c, r_p })
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn restart_expectation_never_exceeds_fedavg(
+        inp in inputs_strategy(), beta_r in 0.05f64..0.95,
+    ) {
+        let t0 = restart_period(inp.r_c, beta_r).min(1000);
+        let expected = restart_expected_units(&inp, t0);
+        // FedAvg over the same cycle (the formula counts t0+1 rounds of
+        // participation including the restart round).
+        let fedavg = (t0 as f64 + 1.0) * inp.m as f64 * inp.n as f64;
+        prop_assert!(expected <= fedavg + 1e-6, "{expected} > {fedavg}");
+        prop_assert!(expected >= 0.0);
+    }
+
+    #[test]
+    fn restart_ratio_monotone_in_rp(inp in inputs_strategy(), beta_r in 0.05f64..0.95) {
+        // more parameter masking -> no more communication
+        let lo = EfficiencyInputs { r_p: (inp.r_p * 0.5).min(1.0), ..inp };
+        let ratio_full = restart_ratio(&inp, beta_r);
+        let ratio_lo = restart_ratio(&lo, beta_r);
+        prop_assert!(ratio_full <= ratio_lo + 1e-9,
+            "masking more increased cost: {ratio_full} > {ratio_lo}");
+    }
+
+    #[test]
+    fn explore_bound_is_in_unit_interval(
+        inp in inputs_strategy(), beta_e in 0.05f64..0.95,
+    ) {
+        let bound = explore_ratio_bound(&inp, beta_e);
+        prop_assert!(bound > 0.0);
+        prop_assert!(bound <= beta_e + 1e-12, "bound {bound} exceeds beta_e {beta_e}");
+    }
+
+    #[test]
+    fn explore_expectation_below_bound(
+        inp in inputs_strategy(), beta_e in 0.05f64..0.95,
+        gamma in 0.0f64..1.0, extra in 0.0f64..1.0,
+    ) {
+        let r_p_hat = inp.r_p + (1.0 - inp.r_p) * extra;
+        let e = explore_expected_units(&inp, beta_e, gamma, r_p_hat);
+        let bound = explore_ratio_bound(&inp, beta_e) * (inp.m * inp.n) as f64;
+        prop_assert!(e <= bound + 1e-6, "{e} > {bound}");
+        prop_assert!(e >= 0.0);
+    }
+
+    #[test]
+    fn restart_period_is_consistent(r_c in 0.01f64..0.999, beta_r in 0.01f64..0.99) {
+        let t0 = restart_period(r_c, beta_r);
+        prop_assume!(t0 < 10_000);
+        // After t0 rounds the retained fraction has dropped below beta_r…
+        prop_assert!(r_c.powi(t0 as i32) < beta_r + 1e-9);
+        // …and t0 is minimal.
+        if t0 > 1 {
+            prop_assert!(r_c.powi(t0 as i32 - 1) >= beta_r - 1e-9);
+        }
+    }
+
+    #[test]
+    fn comm_log_totals_match_manual_sums(
+        rounds in prop::collection::vec(
+            (1usize..20, 0usize..5000, 0usize..100_000), 0..30,
+        ),
+    ) {
+        let mut log = CommLog::new();
+        let mut units = 0usize;
+        let mut scalars = 0usize;
+        let mut activations = 0usize;
+        for &(clients, u, s) in &rounds {
+            log.push(RoundComm {
+                active_clients: clients,
+                uplink_units: u,
+                uplink_scalars: s,
+                downlink_units: u * 2,
+                downlink_scalars: s * 2,
+            });
+            units += u;
+            scalars += s;
+            activations += clients;
+        }
+        prop_assert_eq!(log.total_uplink_units(), units);
+        prop_assert_eq!(log.total_uplink_scalars(), scalars);
+        prop_assert_eq!(log.total_activations(), activations);
+        prop_assert_eq!(log.total_downlink_units(), units * 2);
+        prop_assert_eq!(log.uplink_units_through(rounds.len() + 5), units);
+    }
+}

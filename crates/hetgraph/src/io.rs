@@ -1,0 +1,299 @@
+//! Heterograph (de)serialization.
+//!
+//! A [`GraphDoc`] is a self-contained, JSON-serializable snapshot of a
+//! heterograph — schema, per-type node counts and features, and per-type
+//! edge lists. It exists so synthesized federations can be saved, shipped
+//! between machines, and reloaded bit-identically (the experiment harness
+//! uses it to archive the exact graphs behind reported numbers).
+
+use crate::graph::{EdgeList, HeteroGraph, NodeStore};
+use crate::schema::{EdgeTypeId, NodeTypeId, Schema};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Serializable node-type description.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct NodeTypeDoc {
+    /// Type name.
+    pub name: String,
+    /// Feature dimensionality.
+    pub feat_dim: usize,
+    /// Number of nodes of this type.
+    pub count: usize,
+    /// Row-major features, `count × feat_dim`.
+    pub features: Vec<f32>,
+}
+
+/// Serializable edge-type description with its edges.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EdgeTypeDoc {
+    /// Type name.
+    pub name: String,
+    /// Source node-type index.
+    pub src_type: usize,
+    /// Destination node-type index.
+    pub dst_type: usize,
+    /// Whether the relation is symmetric.
+    pub symmetric: bool,
+    /// Source endpoints (global node ids).
+    pub src: Vec<u32>,
+    /// Destination endpoints (global node ids).
+    pub dst: Vec<u32>,
+}
+
+/// A self-contained heterograph snapshot.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct GraphDoc {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Node types in schema order.
+    pub node_types: Vec<NodeTypeDoc>,
+    /// Edge types (with edges) in schema order.
+    pub edge_types: Vec<EdgeTypeDoc>,
+}
+
+/// Errors from loading a [`GraphDoc`].
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON parse error.
+    Json(serde_json::Error),
+    /// Structurally invalid document.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Invalid(msg) => write!(f, "invalid graph document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+impl GraphDoc {
+    /// Current format version.
+    pub const VERSION: u32 = 1;
+
+    /// Snapshot a heterograph.
+    pub fn from_graph(graph: &HeteroGraph) -> Self {
+        let schema = graph.schema();
+        let node_types = schema
+            .node_type_ids()
+            .map(|t| {
+                let meta = schema.node_type(t);
+                NodeTypeDoc {
+                    name: meta.name.clone(),
+                    feat_dim: meta.feat_dim,
+                    count: graph.nodes().num_nodes_of_type(t),
+                    features: graph.nodes().features_of_type(t).to_vec(),
+                }
+            })
+            .collect();
+        let edge_types = schema
+            .edge_type_ids()
+            .map(|t| {
+                let meta = schema.edge_type(t);
+                let list = graph.edges_of_type(t);
+                EdgeTypeDoc {
+                    name: meta.name.clone(),
+                    src_type: meta.src_type.index(),
+                    dst_type: meta.dst_type.index(),
+                    symmetric: meta.symmetric,
+                    src: list.src.clone(),
+                    dst: list.dst.clone(),
+                }
+            })
+            .collect();
+        Self { version: Self::VERSION, node_types, edge_types }
+    }
+
+    /// Rebuild the heterograph. Validation (endpoint ranges, type
+    /// signatures, feature lengths) happens in the underlying constructors.
+    pub fn into_graph(self) -> Result<HeteroGraph, IoError> {
+        if self.version != Self::VERSION {
+            return Err(IoError::Invalid(format!(
+                "unsupported version {} (expected {})",
+                self.version,
+                Self::VERSION
+            )));
+        }
+        let mut schema = Schema::new();
+        let mut counts = Vec::with_capacity(self.node_types.len());
+        let mut features = Vec::with_capacity(self.node_types.len());
+        for nt in &self.node_types {
+            if nt.features.len() != nt.count * nt.feat_dim {
+                return Err(IoError::Invalid(format!(
+                    "node type '{}': {} feature values for {}x{}",
+                    nt.name,
+                    nt.features.len(),
+                    nt.count,
+                    nt.feat_dim
+                )));
+            }
+            schema.add_node_type(nt.name.clone(), nt.feat_dim);
+            counts.push(nt.count);
+        }
+        for nt in self.node_types {
+            features.push(nt.features);
+        }
+        let n_node_types = counts.len();
+        let mut lists = Vec::with_capacity(self.edge_types.len());
+        for et in &self.edge_types {
+            if et.src_type >= n_node_types || et.dst_type >= n_node_types {
+                return Err(IoError::Invalid(format!(
+                    "edge type '{}': endpoint type out of range",
+                    et.name
+                )));
+            }
+            if et.src.len() != et.dst.len() {
+                return Err(IoError::Invalid(format!(
+                    "edge type '{}': src/dst length mismatch",
+                    et.name
+                )));
+            }
+            schema.add_edge_type(
+                et.name.clone(),
+                NodeTypeId(et.src_type as u16),
+                NodeTypeId(et.dst_type as u16),
+                et.symmetric,
+            );
+            lists.push(EdgeList { src: et.src.clone(), dst: et.dst.clone() });
+        }
+        let store = Arc::new(NodeStore::new(schema, &counts, features));
+        // Range/type validation:
+        let n = store.num_nodes() as u32;
+        for (t, list) in lists.iter().enumerate() {
+            for (s, d) in list.iter() {
+                if s >= n || d >= n {
+                    return Err(IoError::Invalid(format!(
+                        "edge type {t}: endpoint out of range"
+                    )));
+                }
+                let meta = store.schema().edge_type(EdgeTypeId(t as u16));
+                if store.type_of(s) != meta.src_type || store.type_of(d) != meta.dst_type {
+                    return Err(IoError::Invalid(format!(
+                        "edge type {t}: endpoint node-type mismatch"
+                    )));
+                }
+            }
+        }
+        Ok(HeteroGraph::from_edges(store, lists))
+    }
+}
+
+/// Save a heterograph as pretty-printed JSON.
+pub fn save_json(graph: &HeteroGraph, path: &Path) -> Result<(), IoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let doc = GraphDoc::from_graph(graph);
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(std::io::BufWriter::new(file), &doc)?;
+    Ok(())
+}
+
+/// Load a heterograph from JSON.
+pub fn load_json(path: &Path) -> Result<HeteroGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let doc: GraphDoc = serde_json::from_reader(std::io::BufReader::new(file))?;
+    doc.into_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> HeteroGraph {
+        let mut schema = Schema::new();
+        let a = schema.add_node_type("a", 2);
+        let b = schema.add_node_type("b", 1);
+        schema.add_edge_type("ab", a, b, false);
+        schema.add_edge_type("aa", a, a, true);
+        let store = Arc::new(NodeStore::new(
+            schema,
+            &[3, 2],
+            vec![vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![7.0, 8.0]],
+        ));
+        let mut ab = EdgeList::new();
+        ab.push(0, 3);
+        ab.push(2, 4);
+        let mut aa = EdgeList::new();
+        aa.push(0, 1);
+        HeteroGraph::from_edges(store, vec![ab, aa])
+    }
+
+    #[test]
+    fn doc_roundtrip_preserves_everything() {
+        let g = sample_graph();
+        let doc = GraphDoc::from_graph(&g);
+        let restored = doc.clone().into_graph().unwrap();
+        assert_eq!(GraphDoc::from_graph(&restored), doc);
+        assert_eq!(restored.num_nodes(), g.num_nodes());
+        assert_eq!(restored.edge_counts(), g.edge_counts());
+        assert_eq!(restored.nodes().features_of(1), g.nodes().features_of(1));
+        assert_eq!(
+            restored.schema().edge_type(EdgeTypeId(1)).symmetric,
+            g.schema().edge_type(EdgeTypeId(1)).symmetric
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join("fedda_hetgraph_io_test");
+        let path = dir.join("graph.json");
+        save_json(&g, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(GraphDoc::from_graph(&loaded), GraphDoc::from_graph(&g));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_documents_rejected() {
+        let g = sample_graph();
+        let mut doc = GraphDoc::from_graph(&g);
+        doc.version = 99;
+        assert!(matches!(doc.into_graph(), Err(IoError::Invalid(_))));
+
+        let mut doc = GraphDoc::from_graph(&g);
+        doc.node_types[0].features.pop();
+        assert!(matches!(doc.into_graph(), Err(IoError::Invalid(_))));
+
+        let mut doc = GraphDoc::from_graph(&g);
+        doc.edge_types[0].src.push(999);
+        doc.edge_types[0].dst.push(3);
+        assert!(doc.into_graph().is_err());
+
+        let mut doc = GraphDoc::from_graph(&g);
+        doc.edge_types[0].src.push(0);
+        assert!(matches!(doc.into_graph(), Err(IoError::Invalid(_))));
+    }
+
+    #[test]
+    fn wrong_endpoint_type_rejected() {
+        let g = sample_graph();
+        let mut doc = GraphDoc::from_graph(&g);
+        // ab edge pointing at a type-a node
+        doc.edge_types[0].src.push(0);
+        doc.edge_types[0].dst.push(1);
+        assert!(doc.into_graph().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Link-prediction sampling: positive edge batches and type-respecting
+//! negative samples.
+//!
+//! Negative samples corrupt the destination endpoint of a positive edge with
+//! a uniformly random node of the *same node type*, matching the standard
+//! protocol for link prediction on heterographs (and the one Simple-HGN's
+//! benchmark uses). An optional rejection step avoids sampling an existing
+//! edge as a negative.
+
+use crate::graph::{HeteroGraph, NodeId};
+use crate::schema::EdgeTypeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// One labelled example for the link-prediction loss/metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkExample {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Edge type being predicted.
+    pub etype: EdgeTypeId,
+    /// `true` for a real edge, `false` for a sampled negative.
+    pub label: bool,
+}
+
+/// Draws positive/negative link examples from a heterograph.
+pub struct LinkSampler<'g> {
+    graph: &'g HeteroGraph,
+    /// Existing edges as (etype, src, dst) for negative rejection.
+    existing: HashSet<(u16, NodeId, NodeId)>,
+}
+
+impl<'g> LinkSampler<'g> {
+    /// Build a sampler; indexes the graph's edges for negative rejection.
+    pub fn new(graph: &'g HeteroGraph) -> Self {
+        let mut existing = HashSet::with_capacity(graph.num_edges());
+        for t in graph.schema().edge_type_ids() {
+            for (s, d) in graph.edges_of_type(t).iter() {
+                existing.insert((t.0, s, d));
+            }
+        }
+        Self { graph, existing }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &HeteroGraph {
+        self.graph
+    }
+
+    /// Sample one negative for a positive edge by corrupting its destination
+    /// with a random node of the same type. Falls back to an unchecked
+    /// corruption after a bounded number of rejections (dense tiny graphs).
+    pub fn corrupt_dst<R: Rng + ?Sized>(
+        &self,
+        etype: EdgeTypeId,
+        src: NodeId,
+        rng: &mut R,
+    ) -> NodeId {
+        let dst_type = self.graph.schema().edge_type(etype).dst_type;
+        let candidates = self.graph.nodes().nodes_of_type(dst_type);
+        debug_assert!(!candidates.is_empty(), "no candidate destinations for negatives");
+        for _ in 0..32 {
+            let d = candidates[rng.gen_range(0..candidates.len())];
+            if !self.existing.contains(&(etype.0, src, d)) {
+                return d;
+            }
+        }
+        candidates[rng.gen_range(0..candidates.len())]
+    }
+
+    /// All positive examples of the graph (every edge of every type).
+    pub fn all_positives(&self) -> Vec<LinkExample> {
+        let mut out = Vec::with_capacity(self.graph.num_edges());
+        for t in self.graph.schema().edge_type_ids() {
+            for (s, d) in self.graph.edges_of_type(t).iter() {
+                out.push(LinkExample { src: s, dst: d, etype: t, label: true });
+            }
+        }
+        out
+    }
+
+    /// Positives restricted to the given edge types (a biased client's
+    /// "specialised" downstream task trains only on the types it holds).
+    pub fn positives_of_types(&self, types: &[EdgeTypeId]) -> Vec<LinkExample> {
+        let mut out = Vec::new();
+        for &t in types {
+            for (s, d) in self.graph.edges_of_type(t).iter() {
+                out.push(LinkExample { src: s, dst: d, etype: t, label: true });
+            }
+        }
+        out
+    }
+
+    /// Pair each positive with `negatives_per_positive` corrupted negatives.
+    pub fn with_negatives<R: Rng + ?Sized>(
+        &self,
+        positives: &[LinkExample],
+        negatives_per_positive: usize,
+        rng: &mut R,
+    ) -> Vec<LinkExample> {
+        let mut out = Vec::with_capacity(positives.len() * (1 + negatives_per_positive));
+        for &p in positives {
+            out.push(p);
+            for _ in 0..negatives_per_positive {
+                let neg = self.corrupt_dst(p.etype, p.src, rng);
+                out.push(LinkExample { src: p.src, dst: neg, etype: p.etype, label: false });
+            }
+        }
+        out
+    }
+
+    /// Shuffle examples and yield mini-batches of at most `batch_size`.
+    pub fn batches<R: Rng + ?Sized>(
+        examples: &mut Vec<LinkExample>,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<LinkExample>> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        examples.shuffle(rng);
+        examples.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeList, NodeStore};
+    use crate::schema::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn bipartite() -> HeteroGraph {
+        let mut s = Schema::new();
+        let a = s.add_node_type("a", 1);
+        let b = s.add_node_type("b", 1);
+        s.add_edge_type("ab", a, b, false);
+        s.add_edge_type("aa", a, a, true);
+        let store = Arc::new(NodeStore::new(s, &[4, 6], vec![vec![0.0; 4], vec![0.0; 6]]));
+        // type-a: global 0..4, type-b: global 4..10
+        let mut ab = EdgeList::new();
+        ab.push(0, 4);
+        ab.push(1, 5);
+        ab.push(2, 6);
+        let mut aa = EdgeList::new();
+        aa.push(0, 1);
+        HeteroGraph::from_edges(store, vec![ab, aa])
+    }
+
+    #[test]
+    fn corrupt_dst_respects_node_type() {
+        let g = bipartite();
+        let sampler = LinkSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let d = sampler.corrupt_dst(EdgeTypeId(0), 0, &mut rng);
+            assert!((4..10).contains(&d), "negative {d} is not a type-b node");
+            assert_ne!(d, 4, "existing edge (0,4) must be rejected");
+        }
+        for _ in 0..50 {
+            let d = sampler.corrupt_dst(EdgeTypeId(1), 0, &mut rng);
+            assert!((0..4).contains(&d), "negative {d} is not a type-a node");
+        }
+    }
+
+    #[test]
+    fn all_positives_enumerates_every_edge() {
+        let g = bipartite();
+        let sampler = LinkSampler::new(&g);
+        let pos = sampler.all_positives();
+        assert_eq!(pos.len(), 4);
+        assert!(pos.iter().all(|p| p.label));
+    }
+
+    #[test]
+    fn positives_of_types_filters() {
+        let g = bipartite();
+        let sampler = LinkSampler::new(&g);
+        let pos = sampler.positives_of_types(&[EdgeTypeId(1)]);
+        assert_eq!(pos.len(), 1);
+        assert_eq!(pos[0].etype, EdgeTypeId(1));
+    }
+
+    #[test]
+    fn with_negatives_interleaves_correct_ratio() {
+        let g = bipartite();
+        let sampler = LinkSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pos = sampler.all_positives();
+        let examples = sampler.with_negatives(&pos, 3, &mut rng);
+        assert_eq!(examples.len(), 4 * 4);
+        let n_pos = examples.iter().filter(|e| e.label).count();
+        assert_eq!(n_pos, 4);
+    }
+
+    #[test]
+    fn batches_cover_all_examples() {
+        let g = bipartite();
+        let sampler = LinkSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pos = sampler.all_positives();
+        let mut examples = sampler.with_negatives(&pos, 1, &mut rng);
+        let total = examples.len();
+        let batches = LinkSampler::batches(&mut examples, 3, &mut rng);
+        assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), total);
+        assert!(batches.iter().all(|b| b.len() <= 3));
+    }
+}

@@ -1,0 +1,38 @@
+//! # fedda-hgn
+//!
+//! Simple-HGN (Lv et al., KDD 2021) and its GAT ablation, implemented from
+//! scratch on the `fedda-tensor` autodiff tape — the heterogeneous graph
+//! neural network the FedDA paper federates.
+//!
+//! * [`HgnConfig`] / [`Decoder`] — architecture hyper-parameters, including
+//!   the paper's 3-layer / 3-head default and a GAT ablation switch;
+//! * [`GraphView`] — precomputed, tape-ready message-passing arrays for one
+//!   heterograph;
+//! * [`SimpleHgn`] — the encoder (edge-type-aware attention, pre-activation
+//!   residuals, L2-normalised outputs) and decoders (dot product /
+//!   DistMult), with edge-type embeddings and relation vectors registered
+//!   as *disentangled* parameter units for FedDA's masking;
+//! * [`train_local`] / [`evaluate`] — the `ClientUpdate` loop of
+//!   Algorithm 1 and the ROC-AUC / MRR evaluation protocol.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod classifier;
+mod config;
+mod model;
+mod predictor;
+mod rgcn;
+mod trainer;
+mod view;
+
+pub use classifier::NodeClassifier;
+pub use config::{Decoder, HgnConfig};
+pub use model::SimpleHgn;
+pub use predictor::LinkPredictor;
+pub use rgcn::{Rgcn, RgcnConfig};
+pub use trainer::{
+    evaluate, evaluate_detailed, train_local, DetailedEvalResult, EvalResult, Optimizer,
+    TrainConfig, TrainStats,
+};
+pub use view::GraphView;

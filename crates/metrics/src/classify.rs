@@ -1,0 +1,114 @@
+//! Multi-class classification metrics (node-classification extension).
+
+/// Fraction of predictions equal to the truth. Returns 0 on empty input.
+pub fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Macro-averaged F1 over `num_classes` classes. Classes absent from both
+/// predictions and truth are skipped (their F1 is undefined); returns 0 if
+/// every class is absent or the input is empty.
+pub fn macro_f1(pred: &[u32], truth: &[u32], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "macro_f1: length mismatch");
+    if pred.is_empty() || num_classes == 0 {
+        return 0.0;
+    }
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnc = vec![0usize; num_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let (p, t) = (p as usize, t as usize);
+        assert!(p < num_classes && t < num_classes, "class index out of range");
+        if p == t {
+            tp[p] += 1;
+        } else {
+            fp[p] += 1;
+            fnc[t] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..num_classes {
+        let support = tp[c] + fp[c] + fnc[c];
+        if support == 0 {
+            continue;
+        }
+        let precision = if tp[c] + fp[c] > 0 { tp[c] as f64 / (tp[c] + fp[c]) as f64 } else { 0.0 };
+        let recall = if tp[c] + fnc[c] > 0 { tp[c] as f64 / (tp[c] + fnc[c]) as f64 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        sum += f1;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Accuracy of always predicting the most frequent class — the baseline a
+/// trained classifier must beat.
+pub fn majority_baseline(truth: &[u32], num_classes: usize) -> f64 {
+    if truth.is_empty() || num_classes == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; num_classes];
+    for &t in truth {
+        counts[t as usize] += 1;
+    }
+    *counts.iter().max().unwrap() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[0, 1, 2]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_is_one() {
+        assert!((macro_f1(&[0, 1, 2, 1], &[0, 1, 2, 1], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        // truth: [0,0,1,1]; pred: [0,1,1,1]
+        // class 0: tp=1 fp=0 fn=1 → P=1, R=0.5, F1=2/3
+        // class 1: tp=2 fp=1 fn=0 → P=2/3, R=1, F1=0.8
+        let f1 = macro_f1(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
+        assert!((f1 - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        // class 2 never appears; macro over classes 0 and 1 only
+        let f1 = macro_f1(&[0, 1], &[0, 1], 3);
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_baseline_counts_mode() {
+        assert_eq!(majority_baseline(&[0, 0, 0, 1], 2), 0.75);
+        assert_eq!(majority_baseline(&[], 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class index out of range")]
+    fn macro_f1_rejects_out_of_range() {
+        macro_f1(&[5], &[0], 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for metric invariants.
+
+use fedda_metrics::{mrr, roc_auc, CurveRecorder, MeanStd, RankQuery};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn auc_is_in_unit_interval(
+        scores in prop::collection::vec(-100.0f32..100.0, 1..64),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let labels: Vec<bool> = scores.iter().map(|_| rng.gen()).collect();
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform(
+        scores in prop::collection::vec(-10.0f32..10.0, 2..40),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let labels: Vec<bool> = scores.iter().map(|_| rng.gen()).collect();
+        let transformed: Vec<f32> = scores.iter().map(|&s| (s / 5.0).tanh() * 3.0 + 7.0).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn auc_of_flipped_labels_is_complement(
+        scores in prop::collection::vec(-10.0f32..10.0, 2..40),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let labels: Vec<bool> = scores.iter().map(|_| rng.gen()).collect();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reciprocal_rank_bounds(
+        positive in -10.0f32..10.0,
+        negatives in prop::collection::vec(-10.0f32..10.0, 0..32),
+    ) {
+        let k = negatives.len();
+        let q = RankQuery { positive, negatives };
+        let rr = q.reciprocal_rank();
+        prop_assert!(rr <= 1.0 + 1e-12);
+        prop_assert!(rr >= 1.0 / (1.0 + k as f64) - 1e-12);
+    }
+
+    #[test]
+    fn mrr_monotone_in_positive_score(
+        negatives in prop::collection::vec(-10.0f32..10.0, 1..16),
+    ) {
+        let weak = RankQuery { positive: -20.0, negatives: negatives.clone() };
+        let strong = RankQuery { positive: 20.0, negatives };
+        prop_assert!(strong.reciprocal_rank() >= weak.reciprocal_rank());
+        prop_assert!((strong.reciprocal_rank() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_of_constant_vector_has_zero_std(x in -100.0f64..100.0, n in 1usize..20) {
+        let s = MeanStd::of(&vec![x; n]);
+        prop_assert!((s.mean - x).abs() < 1e-9);
+        prop_assert!(s.std.abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_bounds_mean(
+        curves in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 5),
+            1..6,
+        ),
+    ) {
+        let mut rec = CurveRecorder::new();
+        for (run, c) in curves.iter().enumerate() {
+            for (round, &v) in c.iter().enumerate() {
+                rec.record(run, round, v);
+            }
+        }
+        let mean = rec.mean_curve();
+        let max = rec.max_curve();
+        let min = rec.min_curve();
+        for t in 0..rec.num_rounds() {
+            prop_assert!(min[t] <= mean[t] + 1e-12);
+            prop_assert!(mean[t] <= max[t] + 1e-12);
+        }
+        let _ = mrr(&[]);
+    }
+}

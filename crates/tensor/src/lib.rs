@@ -1,0 +1,37 @@
+//! # fedda-tensor
+//!
+//! A small, dependency-light dense tensor library with tape-based
+//! reverse-mode automatic differentiation, purpose-built for the FedDA
+//! reproduction (heterogeneous graph neural networks trained inside a
+//! federated-learning simulator).
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — dense row-major `f32` storage with the kernels the models
+//!   need (matmul with fused transposes, gather/scatter, reductions);
+//! * [`Graph`] / [`Var`] — a define-by-run autodiff tape whose op set covers
+//!   GAT-style attention (segment softmax over incoming edges), residual
+//!   connections, L2-normalised outputs, and binary-cross-entropy link
+//!   prediction losses;
+//! * [`ParamSet`] / [`Param`] — named parameter units with FL metadata
+//!   (shared vs. per-edge-type "disentangled" units, the paper's `[N]` and
+//!   `[N_d]` index sets);
+//! * [`Sgd`] / [`Adam`] — optimisers over a `ParamSet`;
+//! * [`init`] — seedable weight initialisers.
+//!
+//! Everything is deterministic given a seed: no thread-local RNGs, no
+//! unordered hash iteration on numeric paths.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod init;
+mod matrix;
+mod optim;
+mod param;
+mod tape;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, Sgd};
+pub use param::{Param, ParamId, ParamMeta, ParamSet, TapeBindings};
+pub use tape::{sigmoid_scalar, Graph, Segments, Var};

@@ -1,0 +1,183 @@
+//! Optimisers over a [`ParamSet`].
+//!
+//! Both optimisers follow the same contract: the training loop accumulates
+//! gradients into the set (via [`crate::TapeBindings::accumulate_grads`]),
+//! calls `step`, then `zero_grads`.
+
+use crate::matrix::Matrix;
+use crate::param::ParamSet;
+
+/// Plain stochastic gradient descent with optional weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Apply one update: `w -= lr * (g + wd * w)`.
+    pub fn step(&self, params: &mut ParamSet) {
+        for (_, p) in params.iter_mut() {
+            let wd = self.weight_decay;
+            let lr = self.lr;
+            // Split borrows: read grad, write value.
+            let (value, grad) = {
+                let p = p;
+                let g = p.grad().clone();
+                (p.value_mut(), g)
+            };
+            for (w, &g) in value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *w -= lr * (g + wd * *w);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (`beta1=0.9`, `beta2=0.999`).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Reset the moment estimates (used when a client receives a fresh
+    /// global model and should not carry momentum across rounds).
+    pub fn reset_state(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+
+    fn ensure_state(&mut self, params: &ParamSet) {
+        if self.m.len() != params.len() {
+            self.m =
+                params.iter().map(|(_, p)| Matrix::zeros(p.value().rows(), p.value().cols())).collect();
+            self.v =
+                params.iter().map(|(_, p)| Matrix::zeros(p.value().rows(), p.value().cols())).collect();
+            self.t = 0;
+        }
+    }
+
+    /// Apply one Adam update.
+    pub fn step(&mut self, params: &mut ParamSet) {
+        self.ensure_state(params);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, (_, p)) in params.iter_mut().enumerate() {
+            let grad = p.grad().clone();
+            let value = p.value_mut();
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for i in 0..grad.len() {
+                let mut g = grad.as_slice()[i];
+                if self.weight_decay != 0.0 {
+                    g += self.weight_decay * value.as_slice()[i];
+                }
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSet;
+
+    fn quadratic_grad(ps: &mut ParamSet) {
+        // loss = 0.5 * ||w - 3||^2  =>  grad = w - 3
+        let ids: Vec<_> = ps.ids().collect();
+        for id in ids {
+            let val = ps.get(id).value().clone();
+            let g = ps.get_mut(id).grad_mut();
+            for (gi, &wi) in g.as_mut_slice().iter_mut().zip(val.as_slice()) {
+                *gi = wi - 3.0;
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::row_vector(vec![0.0, 10.0]));
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            ps.zero_grads();
+            quadratic_grad(&mut ps);
+            opt.step(&mut ps);
+        }
+        for &w in ps.get(ps.id_of("w").unwrap()).value().as_slice() {
+            assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::row_vector(vec![-5.0, 20.0]));
+        let mut opt = Adam::new(0.3);
+        for _ in 0..500 {
+            ps.zero_grads();
+            quadratic_grad(&mut ps);
+            opt.step(&mut ps);
+        }
+        for &w in ps.get(ps.id_of("w").unwrap()).value().as_slice() {
+            assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::row_vector(vec![1.0]));
+        let opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        // zero gradient: only decay acts
+        opt.step(&mut ps);
+        let w = ps.get(ps.id_of("w").unwrap()).value().get(0, 0);
+        assert!((w - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_reset_state_clears_momentum() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::row_vector(vec![0.0]));
+        let mut opt = Adam::new(0.1);
+        ps.zero_grads();
+        quadratic_grad(&mut ps);
+        opt.step(&mut ps);
+        opt.reset_state();
+        assert_eq!(opt.t, 0);
+        assert!(opt.m.is_empty());
+    }
+}

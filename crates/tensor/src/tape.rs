@@ -1,0 +1,1096 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a define-by-run tape: every operation evaluates eagerly
+//! and records an [`Op`] describing how to push gradients back to its
+//! parents. Calling [`Graph::backward`] on a scalar node walks the tape in
+//! reverse and accumulates gradients into every node that requires them.
+//!
+//! The op set is deliberately specialised for heterogeneous-graph neural
+//! networks: besides dense algebra it includes `gather_rows` /
+//! `scatter_add_rows` (message passing), `segment_softmax` (per-destination
+//! attention normalisation), and row-wise L2 normalisation (the Simple-HGN
+//! output head).
+
+use crate::matrix::Matrix;
+use std::sync::Arc;
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Segment descriptor for [`Graph::segment_softmax`]: row `i` of the input
+/// belongs to segment `seg_of_row[i]`, and there are `n_segments` segments.
+/// Rows of a segment do not need to be contiguous.
+#[derive(Clone, Debug)]
+pub struct Segments {
+    /// Segment id of each row.
+    pub seg_of_row: Vec<u32>,
+    /// Total number of segments (ids must be `< n_segments`).
+    pub n_segments: usize,
+}
+
+impl Segments {
+    /// Build a segment descriptor, validating ids.
+    pub fn new(seg_of_row: Vec<u32>, n_segments: usize) -> Self {
+        debug_assert!(
+            seg_of_row.iter().all(|&s| (s as usize) < n_segments),
+            "Segments: id out of range"
+        );
+        Self { seg_of_row, n_segments }
+    }
+}
+
+/// The recorded operation of a node. Parent handles refer to earlier nodes
+/// on the same tape.
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[m,n] + [1,n]` (bias row broadcast over rows).
+    AddRowBroadcast(Var, Var),
+    /// `[m,n] * [m,1]` (per-row scalar, e.g. attention weight).
+    MulColBroadcast(Var, Var),
+    /// `[m,n] * [1,n]` (per-column scalar, e.g. DistMult relation vector).
+    MulRowBroadcast(Var, Var),
+    Scale(Var, f32),
+    LeakyRelu(Var, f32),
+    Elu(Var, f32),
+    Sigmoid(Var),
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    GatherRows(Var, Arc<Vec<u32>>),
+    ScatterAddRows(Var, Arc<Vec<u32>>),
+    SegmentSoftmax(Var, Arc<Segments>),
+    SoftmaxRows(Var),
+    CrossEntropyRows(Var, Arc<Vec<u32>>),
+    L2NormalizeRows(Var, f32),
+    RowSum(Var),
+    RowDot(Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+    BceWithLogits(Var, Arc<Vec<f32>>),
+    Dropout(Var, Arc<Vec<f32>>),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A define-by-run autodiff tape.
+///
+/// Typical usage:
+/// ```
+/// use fedda_tensor::{Graph, Matrix};
+/// let mut g = Graph::new();
+/// let x = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+/// let w = g.leaf(Matrix::from_vec(2, 1, vec![0.5, -0.5]));
+/// let y = g.matmul(x, w);
+/// let loss = g.sum_all(y);
+/// g.backward(loss);
+/// assert_eq!(g.grad(w).unwrap().as_slice(), &[1.0, 2.0]);
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Create an empty tape with node capacity reserved up front.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { nodes: Vec::with_capacity(n) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Register a differentiable leaf (a parameter copy).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Register a constant input (no gradient tracked).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node, if backward has reached it.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    // ---- dense algebra ----------------------------------------------------
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise `a * b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Mul(a, b), rg)
+    }
+
+    /// `[m,n] + [1,n]`: add a bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let (m, n) = self.shape(a);
+        let (br, bc) = self.shape(bias);
+        assert_eq!((br, bc), (1, n), "add_row_broadcast: bias must be 1x{n}, got {br}x{bc}");
+        let mut value = self.value(a).clone();
+        {
+            let b = self.nodes[bias.0].value.as_slice().to_vec();
+            for r in 0..m {
+                for (o, &bv) in value.row_mut(r).iter_mut().zip(&b) {
+                    *o += bv;
+                }
+            }
+        }
+        let rg = self.requires(a) || self.requires(bias);
+        self.push(value, Op::AddRowBroadcast(a, bias), rg)
+    }
+
+    /// `[m,n] * [m,1]`: scale each row of `a` by the matching scalar in `c`.
+    pub fn mul_col_broadcast(&mut self, a: Var, c: Var) -> Var {
+        let (m, n) = self.shape(a);
+        let (cr, cc) = self.shape(c);
+        assert_eq!((cr, cc), (m, 1), "mul_col_broadcast: scale must be {m}x1, got {cr}x{cc}");
+        let mut value = self.value(a).clone();
+        for r in 0..m {
+            let s = self.nodes[c.0].value.get(r, 0);
+            for o in value.row_mut(r) {
+                *o *= s;
+            }
+        }
+        let _ = n;
+        let rg = self.requires(a) || self.requires(c);
+        self.push(value, Op::MulColBroadcast(a, c), rg)
+    }
+
+    /// `[m,n] * [1,n]`: scale each column of `a` by the matching scalar in `r`.
+    pub fn mul_row_broadcast(&mut self, a: Var, rvec: Var) -> Var {
+        let (m, n) = self.shape(a);
+        let (rr, rc) = self.shape(rvec);
+        assert_eq!((rr, rc), (1, n), "mul_row_broadcast: scale must be 1x{n}, got {rr}x{rc}");
+        let mut value = self.value(a).clone();
+        {
+            let rv = self.nodes[rvec.0].value.as_slice().to_vec();
+            for r in 0..m {
+                for (o, &s) in value.row_mut(r).iter_mut().zip(&rv) {
+                    *o *= s;
+                }
+            }
+        }
+        let rg = self.requires(a) || self.requires(rvec);
+        self.push(value, Op::MulRowBroadcast(a, rvec), rg)
+    }
+
+    /// Multiply by a compile-time constant scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        let rg = self.requires(a);
+        self.push(value, Op::Scale(a, s), rg)
+    }
+
+    // ---- nonlinearities ----------------------------------------------------
+
+    /// LeakyReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let mut value = self.value(a).clone();
+        for x in value.as_mut_slice() {
+            if *x < 0.0 {
+                *x *= slope;
+            }
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// ELU: `x` for `x > 0`, `alpha * (e^x - 1)` otherwise.
+    pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
+        let mut value = self.value(a).clone();
+        for x in value.as_mut_slice() {
+            if *x < 0.0 {
+                *x = alpha * (x.exp() - 1.0);
+            }
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::Elu(a, alpha), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let mut value = self.value(a).clone();
+        for x in value.as_mut_slice() {
+            *x = sigmoid_scalar(*x);
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    // ---- structure ops -----------------------------------------------------
+
+    /// Concatenate along columns: all inputs must share the row count.
+    pub fn concat_cols(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_cols: no inputs");
+        let m = self.shape(vars[0]).0;
+        let total: usize = vars.iter().map(|&v| self.shape(v).1).sum();
+        let mut value = Matrix::zeros(m, total);
+        let mut off = 0;
+        for &v in vars {
+            let (vr, vc) = self.shape(v);
+            assert_eq!(vr, m, "concat_cols: row mismatch");
+            let src = &self.nodes[v.0].value;
+            for r in 0..m {
+                value.row_mut(r)[off..off + vc].copy_from_slice(src.row(r));
+            }
+            off += vc;
+        }
+        let rg = vars.iter().any(|&v| self.requires(v));
+        self.push(value, Op::ConcatCols(vars.to_vec()), rg)
+    }
+
+    /// Concatenate along rows (vertical stack): all inputs must share the
+    /// column count. Used to assemble per-edge-type embedding matrices from
+    /// individually-masked parameter units.
+    pub fn concat_rows(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_rows: no inputs");
+        let n = self.shape(vars[0]).1;
+        let total: usize = vars.iter().map(|&v| self.shape(v).0).sum();
+        let mut value = Matrix::zeros(total, n);
+        let mut off = 0;
+        for &v in vars {
+            let (vr, vc) = self.shape(v);
+            assert_eq!(vc, n, "concat_rows: column mismatch");
+            let src = &self.nodes[v.0].value;
+            for r in 0..vr {
+                value.row_mut(off + r).copy_from_slice(src.row(r));
+            }
+            off += vr;
+        }
+        let rg = vars.iter().any(|&v| self.requires(v));
+        self.push(value, Op::ConcatRows(vars.to_vec()), rg)
+    }
+
+    /// Gather rows: `out[i] = a[idx[i]]`.
+    pub fn gather_rows(&mut self, a: Var, idx: Arc<Vec<u32>>) -> Var {
+        let value = self.value(a).gather_rows(&idx);
+        let rg = self.requires(a);
+        self.push(value, Op::GatherRows(a, idx), rg)
+    }
+
+    /// Scatter-add rows: `out[idx[i]] += a[i]`, output has `out_rows` rows.
+    pub fn scatter_add_rows(&mut self, a: Var, idx: Arc<Vec<u32>>, out_rows: usize) -> Var {
+        let value = self.value(a).scatter_add_rows(&idx, out_rows);
+        let rg = self.requires(a);
+        self.push(value, Op::ScatterAddRows(a, idx), rg)
+    }
+
+    /// Numerically-stable softmax over segments of a column vector `[m,1]`.
+    ///
+    /// Each segment (e.g. the incoming edges of one destination node)
+    /// normalises independently. Empty segments are allowed.
+    pub fn segment_softmax(&mut self, a: Var, segs: Arc<Segments>) -> Var {
+        let (m, n) = self.shape(a);
+        assert_eq!(n, 1, "segment_softmax: input must be a column vector");
+        assert_eq!(segs.seg_of_row.len(), m, "segment_softmax: segment count mismatch");
+        let x = self.value(a).as_slice();
+        let mut maxes = vec![f32::NEG_INFINITY; segs.n_segments];
+        for (i, &s) in segs.seg_of_row.iter().enumerate() {
+            let s = s as usize;
+            if x[i] > maxes[s] {
+                maxes[s] = x[i];
+            }
+        }
+        let mut value = Matrix::zeros(m, 1);
+        let mut sums = vec![0.0f32; segs.n_segments];
+        {
+            let out = value.as_mut_slice();
+            for (i, &s) in segs.seg_of_row.iter().enumerate() {
+                let e = (x[i] - maxes[s as usize]).exp();
+                out[i] = e;
+                sums[s as usize] += e;
+            }
+            for (i, &s) in segs.seg_of_row.iter().enumerate() {
+                let denom = sums[s as usize];
+                if denom > 0.0 {
+                    out[i] /= denom;
+                }
+            }
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::SegmentSoftmax(a, segs), rg)
+    }
+
+    /// Row-wise softmax: each row of `[m, n]` normalises independently
+    /// (numerically stable via per-row max subtraction).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let (m, n) = self.shape(a);
+        assert!(n > 0, "softmax_rows: empty rows");
+        let mut value = self.value(a).clone();
+        for r in 0..m {
+            let row = value.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::SoftmaxRows(a), rg)
+    }
+
+    /// Mean multi-class cross-entropy of row logits against class indices:
+    /// `loss = -1/m Σ_i log softmax(x_i)[t_i]`, as a `1x1` node.
+    pub fn cross_entropy_rows(&mut self, logits: Var, targets: Arc<Vec<u32>>) -> Var {
+        let (m, n) = self.shape(logits);
+        assert_eq!(targets.len(), m, "cross_entropy_rows: one target per row");
+        assert!(m > 0, "cross_entropy_rows: empty batch");
+        debug_assert!(targets.iter().all(|&t| (t as usize) < n), "target class out of range");
+        let x = self.value(logits);
+        let mut loss = 0.0f64;
+        for (r, &t) in targets.iter().enumerate() {
+            let row = x.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+            let log_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            loss += f64::from(log_sum - row[t as usize]);
+        }
+        let value = Matrix::from_vec(1, 1, vec![(loss / m as f64) as f32]);
+        let rg = self.requires(logits);
+        self.push(value, Op::CrossEntropyRows(logits, targets), rg)
+    }
+
+    /// Row-wise L2 normalisation: `y_i = x_i / max(||x_i||, eps)`.
+    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let (m, _) = self.shape(a);
+        let mut value = self.value(a).clone();
+        for r in 0..m {
+            let row = value.row_mut(r);
+            let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt().max(eps);
+            for x in row {
+                *x /= norm;
+            }
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::L2NormalizeRows(a, eps), rg)
+    }
+
+    /// Row-wise sum: `[m,n] -> [m,1]`.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let (m, _) = self.shape(a);
+        let mut value = Matrix::zeros(m, 1);
+        for r in 0..m {
+            value.set(r, 0, self.nodes[a.0].value.row(r).iter().sum());
+        }
+        let rg = self.requires(a);
+        self.push(value, Op::RowSum(a), rg)
+    }
+
+    /// Row-wise dot product of two `[m,n]` matrices: `out[i] = a_i · b_i`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "row_dot: shape mismatch");
+        let (m, _) = self.shape(a);
+        let mut value = Matrix::zeros(m, 1);
+        for r in 0..m {
+            let dot = self.nodes[a.0]
+                .value
+                .row(r)
+                .iter()
+                .zip(self.nodes[b.0].value.row(r))
+                .map(|(&x, &y)| x * y)
+                .sum();
+            value.set(r, 0, dot);
+        }
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::RowDot(a, b), rg)
+    }
+
+    // ---- reductions & losses ------------------------------------------------
+
+    /// Sum of all elements, as a `1x1` node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        let rg = self.requires(a);
+        self.push(value, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements, as a `1x1` node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        let rg = self.requires(a);
+        self.push(value, Op::MeanAll(a), rg)
+    }
+
+    /// Binary cross-entropy with logits, averaged over all elements.
+    ///
+    /// Uses the standard stable form
+    /// `max(x, 0) - x*t + ln(1 + e^{-|x|})`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Arc<Vec<f32>>) -> Var {
+        let x = self.value(logits).as_slice();
+        assert_eq!(x.len(), targets.len(), "bce_with_logits: target length mismatch");
+        assert!(!x.is_empty(), "bce_with_logits: empty input");
+        let mut loss = 0.0f64;
+        for (&xi, &ti) in x.iter().zip(targets.iter()) {
+            let term = xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+            loss += term as f64;
+        }
+        let value = Matrix::from_vec(1, 1, vec![(loss / x.len() as f64) as f32]);
+        let rg = self.requires(logits);
+        self.push(value, Op::BceWithLogits(logits, targets), rg)
+    }
+
+    /// Inverted dropout with a precomputed mask (entries are `0` or
+    /// `1/(1-p)`). The caller owns mask generation so training remains
+    /// reproducible.
+    pub fn dropout_with_mask(&mut self, a: Var, mask: Arc<Vec<f32>>) -> Var {
+        let x = self.value(a);
+        assert_eq!(x.len(), mask.len(), "dropout_with_mask: mask length mismatch");
+        let data = x.as_slice().iter().zip(mask.iter()).map(|(&v, &m)| v * m).collect();
+        let value = Matrix::from_vec(x.rows(), x.cols(), data);
+        let rg = self.requires(a);
+        self.push(value, Op::Dropout(a, mask), rg)
+    }
+
+    // ---- backward -----------------------------------------------------------
+
+    /// Run reverse-mode accumulation from a scalar (`1x1`) node.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1x1` or does not require grad.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be scalar");
+        assert!(self.requires(loss), "backward: loss does not require grad");
+        self.nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires_grad || self.nodes[i].grad.is_none() {
+                continue;
+            }
+            self.backprop_node(i);
+        }
+    }
+
+    fn take_grad(&mut self, i: usize) -> Matrix {
+        // The node's grad is complete by the time we visit it (children have
+        // higher indices and were processed first); move it out to satisfy
+        // the borrow checker while we mutate parents.
+        self.nodes[i].grad.take().expect("grad missing")
+    }
+
+    fn put_grad(&mut self, i: usize, g: Matrix) {
+        self.nodes[i].grad = Some(g);
+    }
+
+    fn accum(&mut self, v: Var, delta: &Matrix) {
+        if !self.requires(v) {
+            return;
+        }
+        let node = &mut self.nodes[v.0];
+        match node.grad.as_mut() {
+            Some(g) => g.add_assign(delta),
+            None => node.grad = Some(delta.clone()),
+        }
+    }
+
+    fn accum_owned(&mut self, v: Var, delta: Matrix) {
+        if !self.requires(v) {
+            return;
+        }
+        let node = &mut self.nodes[v.0];
+        match node.grad.as_mut() {
+            Some(g) => g.add_assign(&delta),
+            None => node.grad = Some(delta),
+        }
+    }
+
+    fn backprop_node(&mut self, i: usize) {
+        let g = self.take_grad(i);
+        // Dispatch on a cheap copy of the op metadata (Rc clones are cheap).
+        enum Todo {
+            None,
+            One(Var, Matrix),
+        }
+        let todo = match &self.nodes[i].op {
+            Op::Leaf => Todo::None,
+            Op::MatMul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = if self.requires(a) {
+                    Some(g.matmul_nt(&self.nodes[b.0].value))
+                } else {
+                    None
+                };
+                let db = if self.requires(b) {
+                    Some(self.nodes[a.0].value.matmul_tn(&g))
+                } else {
+                    None
+                };
+                self.put_grad(i, g);
+                if let Some(da) = da {
+                    self.accum_owned(a, da);
+                }
+                if let Some(db) = db {
+                    self.accum_owned(b, db);
+                }
+                return;
+            }
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accum(a, &g);
+                self.accum(b, &g);
+                self.put_grad(i, g);
+                return;
+            }
+            Op::Sub(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accum(a, &g);
+                if self.requires(b) {
+                    let neg = g.scale(-1.0);
+                    self.accum_owned(b, neg);
+                }
+                self.put_grad(i, g);
+                return;
+            }
+            Op::Mul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da =
+                    if self.requires(a) { Some(g.mul(&self.nodes[b.0].value)) } else { None };
+                let db =
+                    if self.requires(b) { Some(g.mul(&self.nodes[a.0].value)) } else { None };
+                self.put_grad(i, g);
+                if let Some(da) = da {
+                    self.accum_owned(a, da);
+                }
+                if let Some(db) = db {
+                    self.accum_owned(b, db);
+                }
+                return;
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                let (a, bias) = (*a, *bias);
+                let db = if self.requires(bias) {
+                    let (m, n) = g.shape();
+                    let mut col = Matrix::zeros(1, n);
+                    for r in 0..m {
+                        for (o, &v) in col.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    Some(col)
+                } else {
+                    None
+                };
+                self.accum(a, &g);
+                if let Some(db) = db {
+                    self.accum_owned(bias, db);
+                }
+                self.put_grad(i, g);
+                return;
+            }
+            Op::MulColBroadcast(a, c) => {
+                let (a, c) = (*a, *c);
+                let (m, _n) = g.shape();
+                let da = if self.requires(a) {
+                    let mut da = g.clone();
+                    for r in 0..m {
+                        let s = self.nodes[c.0].value.get(r, 0);
+                        for x in da.row_mut(r) {
+                            *x *= s;
+                        }
+                    }
+                    Some(da)
+                } else {
+                    None
+                };
+                let dc = if self.requires(c) {
+                    let mut dc = Matrix::zeros(m, 1);
+                    for r in 0..m {
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(self.nodes[a.0].value.row(r))
+                            .map(|(&gv, &av)| gv * av)
+                            .sum();
+                        dc.set(r, 0, dot);
+                    }
+                    Some(dc)
+                } else {
+                    None
+                };
+                self.put_grad(i, g);
+                if let Some(da) = da {
+                    self.accum_owned(a, da);
+                }
+                if let Some(dc) = dc {
+                    self.accum_owned(c, dc);
+                }
+                return;
+            }
+            Op::MulRowBroadcast(a, rv) => {
+                let (a, rv) = (*a, *rv);
+                let (m, n) = g.shape();
+                let da = if self.requires(a) {
+                    let mut da = g.clone();
+                    for r in 0..m {
+                        for (x, &s) in da.row_mut(r).iter_mut().zip(self.nodes[rv.0].value.row(0))
+                        {
+                            *x *= s;
+                        }
+                    }
+                    Some(da)
+                } else {
+                    None
+                };
+                let dr = if self.requires(rv) {
+                    let mut dr = Matrix::zeros(1, n);
+                    for r in 0..m {
+                        for ((o, &gv), &av) in dr
+                            .row_mut(0)
+                            .iter_mut()
+                            .zip(g.row(r))
+                            .zip(self.nodes[a.0].value.row(r))
+                        {
+                            *o += gv * av;
+                        }
+                    }
+                    Some(dr)
+                } else {
+                    None
+                };
+                self.put_grad(i, g);
+                if let Some(da) = da {
+                    self.accum_owned(a, da);
+                }
+                if let Some(dr) = dr {
+                    self.accum_owned(rv, dr);
+                }
+                return;
+            }
+            Op::Scale(a, s) => Todo::One(*a, g.scale(*s)),
+            Op::LeakyRelu(a, slope) => {
+                let a = *a;
+                let slope = *slope;
+                let mut da = g.clone();
+                for (x, &inp) in da.as_mut_slice().iter_mut().zip(self.nodes[a.0].value.as_slice())
+                {
+                    if inp < 0.0 {
+                        *x *= slope;
+                    }
+                }
+                Todo::One(a, da)
+            }
+            Op::Elu(a, alpha) => {
+                let a = *a;
+                let alpha = *alpha;
+                let mut da = g.clone();
+                let out = self.nodes[i].value.as_slice();
+                for ((x, &inp), &y) in da
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.nodes[a.0].value.as_slice())
+                    .zip(out)
+                {
+                    if inp < 0.0 {
+                        *x *= y + alpha; // d/dx alpha(e^x - 1) = alpha e^x = y + alpha
+                    }
+                }
+                Todo::One(a, da)
+            }
+            Op::Sigmoid(a) => {
+                let a = *a;
+                let mut da = g.clone();
+                for (x, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice()) {
+                    *x *= y * (1.0 - y);
+                }
+                Todo::One(a, da)
+            }
+            Op::ConcatCols(vars) => {
+                let vars = vars.clone();
+                let m = g.rows();
+                let mut off = 0;
+                let mut parts = Vec::with_capacity(vars.len());
+                for &v in &vars {
+                    let (_, vc) = self.shape(v);
+                    let mut part = Matrix::zeros(m, vc);
+                    for r in 0..m {
+                        part.row_mut(r).copy_from_slice(&g.row(r)[off..off + vc]);
+                    }
+                    parts.push((v, part));
+                    off += vc;
+                }
+                self.put_grad(i, g);
+                for (v, part) in parts {
+                    self.accum_owned(v, part);
+                }
+                return;
+            }
+            Op::ConcatRows(vars) => {
+                let vars = vars.clone();
+                let mut off = 0;
+                let mut parts = Vec::with_capacity(vars.len());
+                for &v in &vars {
+                    let (vr, vc) = self.shape(v);
+                    let mut part = Matrix::zeros(vr, vc);
+                    for r in 0..vr {
+                        part.row_mut(r).copy_from_slice(g.row(off + r));
+                    }
+                    parts.push((v, part));
+                    off += vr;
+                }
+                self.put_grad(i, g);
+                for (v, part) in parts {
+                    self.accum_owned(v, part);
+                }
+                return;
+            }
+            Op::GatherRows(a, idx) => {
+                let a = *a;
+                let idx = idx.clone();
+                let rows = self.shape(a).0;
+                Todo::One(a, g.scatter_add_rows(&idx, rows))
+            }
+            Op::ScatterAddRows(a, idx) => {
+                let a = *a;
+                let idx = idx.clone();
+                Todo::One(a, g.gather_rows(&idx))
+            }
+            Op::SegmentSoftmax(a, segs) => {
+                let a = *a;
+                let segs = segs.clone();
+                let y = self.nodes[i].value.as_slice();
+                let gv = g.as_slice();
+                let mut seg_dot = vec![0.0f32; segs.n_segments];
+                for (r, &s) in segs.seg_of_row.iter().enumerate() {
+                    seg_dot[s as usize] += gv[r] * y[r];
+                }
+                let mut da = Matrix::zeros(y.len(), 1);
+                for (r, &s) in segs.seg_of_row.iter().enumerate() {
+                    da.as_mut_slice()[r] = y[r] * (gv[r] - seg_dot[s as usize]);
+                }
+                Todo::One(a, da)
+            }
+            Op::SoftmaxRows(a) => {
+                let a = *a;
+                let (m, n) = g.shape();
+                let mut da = Matrix::zeros(m, n);
+                for r in 0..m {
+                    let y = self.nodes[i].value.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = y.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                    for ((o, &gv), &yv) in da.row_mut(r).iter_mut().zip(gr).zip(y) {
+                        *o = yv * (gv - dot);
+                    }
+                }
+                Todo::One(a, da)
+            }
+            Op::CrossEntropyRows(a, targets) => {
+                let a = *a;
+                let targets = targets.clone();
+                let (m, n) = self.shape(a);
+                let scale = g.get(0, 0) / m as f32;
+                let mut da = Matrix::zeros(m, n);
+                for (r, &t) in targets.iter().enumerate() {
+                    let row = self.nodes[a.0].value.row(r);
+                    let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+                    let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+                    let sum: f32 = exps.iter().sum();
+                    for (c, (o, &e)) in da.row_mut(r).iter_mut().zip(&exps).enumerate() {
+                        let softmax = e / sum;
+                        let indicator = if c == t as usize { 1.0 } else { 0.0 };
+                        *o = scale * (softmax - indicator);
+                    }
+                }
+                Todo::One(a, da)
+            }
+            Op::L2NormalizeRows(a, eps) => {
+                let a = *a;
+                let eps = *eps;
+                let (m, n) = g.shape();
+                let mut da = Matrix::zeros(m, n);
+                for r in 0..m {
+                    let x = self.nodes[a.0].value.row(r);
+                    let y = self.nodes[i].value.row(r);
+                    let norm = x.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
+                    let dot: f32 = y.iter().zip(g.row(r)).map(|(&yv, &gv)| yv * gv).sum();
+                    for ((o, &gv), &yv) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y) {
+                        *o = (gv - yv * dot) / norm;
+                    }
+                }
+                Todo::One(a, da)
+            }
+            Op::RowSum(a) => {
+                let a = *a;
+                let (m, n) = self.shape(a);
+                let mut da = Matrix::zeros(m, n);
+                for r in 0..m {
+                    let gr = g.get(r, 0);
+                    for x in da.row_mut(r) {
+                        *x = gr;
+                    }
+                }
+                Todo::One(a, da)
+            }
+            Op::RowDot(a, b) => {
+                let (a, b) = (*a, *b);
+                let (m, n) = self.shape(a);
+                let da = if self.requires(a) {
+                    let mut da = Matrix::zeros(m, n);
+                    for r in 0..m {
+                        let gr = g.get(r, 0);
+                        for (o, &bv) in da.row_mut(r).iter_mut().zip(self.nodes[b.0].value.row(r))
+                        {
+                            *o = gr * bv;
+                        }
+                    }
+                    Some(da)
+                } else {
+                    None
+                };
+                let db = if self.requires(b) {
+                    let mut db = Matrix::zeros(m, n);
+                    for r in 0..m {
+                        let gr = g.get(r, 0);
+                        for (o, &av) in db.row_mut(r).iter_mut().zip(self.nodes[a.0].value.row(r))
+                        {
+                            *o = gr * av;
+                        }
+                    }
+                    Some(db)
+                } else {
+                    None
+                };
+                self.put_grad(i, g);
+                if let Some(da) = da {
+                    self.accum_owned(a, da);
+                }
+                if let Some(db) = db {
+                    self.accum_owned(b, db);
+                }
+                return;
+            }
+            Op::SumAll(a) => {
+                let a = *a;
+                let (m, n) = self.shape(a);
+                Todo::One(a, Matrix::full(m, n, g.get(0, 0)))
+            }
+            Op::MeanAll(a) => {
+                let a = *a;
+                let (m, n) = self.shape(a);
+                let len = (m * n).max(1) as f32;
+                Todo::One(a, Matrix::full(m, n, g.get(0, 0) / len))
+            }
+            Op::BceWithLogits(a, targets) => {
+                let a = *a;
+                let targets = targets.clone();
+                let x = self.nodes[a.0].value.as_slice();
+                let scale = g.get(0, 0) / x.len() as f32;
+                let data = x
+                    .iter()
+                    .zip(targets.iter())
+                    .map(|(&xi, &ti)| scale * (sigmoid_scalar(xi) - ti))
+                    .collect();
+                let (m, n) = self.shape(a);
+                Todo::One(a, Matrix::from_vec(m, n, data))
+            }
+            Op::Dropout(a, mask) => {
+                let a = *a;
+                let mask = mask.clone();
+                let data =
+                    g.as_slice().iter().zip(mask.iter()).map(|(&gv, &mv)| gv * mv).collect();
+                let (m, n) = g.shape();
+                Todo::One(a, Matrix::from_vec(m, n, data))
+            }
+        };
+        self.put_grad(i, g);
+        match todo {
+            Todo::None => {}
+            Todo::One(v, d) => self.accum_owned(v, d),
+        }
+    }
+}
+
+/// Numerically-stable scalar sigmoid.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_scalar_extremes() {
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid_scalar(100.0) > 0.999);
+        assert!(sigmoid_scalar(-100.0) < 0.001);
+        assert!(sigmoid_scalar(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let w = g.leaf(Matrix::from_vec(2, 1, vec![0.5, -0.5]));
+        let y = g.matmul(x, w);
+        let loss = g.sum_all(y);
+        assert!((g.value(loss).get(0, 0) - (-0.5)).abs() < 1e-6);
+        g.backward(loss);
+        assert_eq!(g.grad(w).unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn inputs_do_not_collect_grads() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let w = g.leaf(Matrix::from_vec(2, 1, vec![1.0, 1.0]));
+        let y = g.matmul(x, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!(g.grad(x).is_none());
+        assert!(g.grad(w).is_some());
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::col_vector(vec![1.0, 2.0, 3.0, -1.0, 0.0]));
+        let segs = Arc::new(Segments::new(vec![0, 0, 1, 1, 1], 2));
+        let y = g.segment_softmax(x, segs);
+        let v = g.value(y).as_slice();
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+        assert!((v[2] + v[3] + v[4] - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[4] && v[4] > v[3]);
+    }
+
+    #[test]
+    fn segment_softmax_with_empty_segment() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::col_vector(vec![1.0, 2.0]));
+        // segment 1 is empty
+        let segs = Arc::new(Segments::new(vec![0, 0], 3));
+        let y = g.segment_softmax(x, segs);
+        let v = g.value(y).as_slice();
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_produces_unit_rows() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 2.0]));
+        let y = g.l2_normalize_rows(x, 1e-12);
+        let v = g.value(y);
+        assert!((v.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((v.row(0)[1] - 0.8).abs() < 1e-6);
+        assert!((v.row(1)[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_manual_value() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::row_vector(vec![0.0, 2.0]));
+        let t = Arc::new(vec![1.0, 0.0]);
+        let loss = g.bce_with_logits(x, t);
+        // -ln(sigmoid(0)) = ln 2; -ln(1 - sigmoid(2)) = ln(1+e^2)
+        let expected = ((2.0f32).ln() + (1.0 + (2.0f32).exp()).ln()) / 2.0;
+        assert!((g.value(loss).get(0, 0) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn concat_cols_backward_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        let b = g.leaf(Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let c = g.concat_cols(&[a, b]);
+        assert_eq!(g.shape(c), (2, 3));
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_rows_backward_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = g.leaf(Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let c = g.concat_rows(&[a, b]);
+        assert_eq!(g.shape(c), (3, 2));
+        assert_eq!(g.value(c).as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let sq = g.mul(c, c);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[2.0, 4.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        g.backward(x);
+    }
+}
