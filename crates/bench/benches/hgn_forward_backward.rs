@@ -12,7 +12,12 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 fn bench_encoder(c: &mut Criterion) {
-    let g = dblp_like(&PresetOptions { scale: 0.002, seed: 1, ..Default::default() }).graph;
+    let g = dblp_like(&PresetOptions {
+        scale: 0.002,
+        seed: 1,
+        ..Default::default()
+    })
+    .graph;
     let mut group = c.benchmark_group("hgn_encoder");
     for (label, cfg) in [
         ("simple_hgn", HgnConfig::default()),
@@ -32,14 +37,17 @@ fn bench_encoder(c: &mut Criterion) {
         let mut rng2 = StdRng::seed_from_u64(1);
         let pos = sampler.all_positives();
         let examples = sampler.with_negatives(&pos[..256.min(pos.len())], 1, &mut rng2);
-        let targets: Arc<Vec<f32>> =
-            Arc::new(examples.iter().map(|e| if e.label { 1.0 } else { 0.0 }).collect());
+        let targets: Arc<Vec<f32>> = Arc::new(
+            examples
+                .iter()
+                .map(|e| if e.label { 1.0 } else { 0.0 })
+                .collect(),
+        );
         group.bench_function(format!("{label}_forward_backward"), |b| {
             b.iter(|| {
                 let mut graph = Graph::new();
                 let mut tb = TapeBindings::new();
-                let emb =
-                    model.encode::<StdRng>(&mut graph, &mut tb, &params, &view, None);
+                let emb = model.encode::<StdRng>(&mut graph, &mut tb, &params, &view, None);
                 let logits = model.score_links(&mut graph, &mut tb, &params, emb, &examples);
                 let loss = graph.bce_with_logits(logits, targets.clone());
                 graph.backward(loss);

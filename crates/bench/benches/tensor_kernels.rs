@@ -9,7 +9,11 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
-    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    Matrix::from_vec(
+        r,
+        c,
+        (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
 }
 
 fn bench_matmul(c: &mut Criterion) {
@@ -28,6 +32,51 @@ fn bench_matmul(c: &mut Criterion) {
             bench.iter(|| a.matmul_nt(&b))
         });
     }
+    group.finish();
+}
+
+/// Blocked+parallel dispatch vs the naive reference loops at a shape well
+/// above the dispatch threshold. The acceptance target for the blocked
+/// kernel is ≥2× over naive at 512³ on a ≥4-core machine.
+fn bench_matmul_blocked_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_blocked_vs_naive");
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[256usize, 512] {
+        let a = rand_matrix(&mut rng, n, n);
+        let b = rand_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("blocked_nn", n), &n, |bench, _| {
+            bench.iter(|| fedda_tensor::gemm::gemm_nn(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_nn", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_naive(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_nt", n), &n, |bench, _| {
+            bench.iter(|| fedda_tensor::gemm::gemm_nt(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_nt", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_nt_naive(&b))
+        });
+    }
+    group.finish();
+}
+
+/// Thread scaling of the blocked kernel: 1 thread vs the full
+/// `FEDDA_THREADS` budget (results are bit-identical either way; only
+/// wall-clock should differ).
+fn bench_matmul_thread_scaling(c: &mut Criterion) {
+    use fedda_tensor::gemm;
+    let mut group = c.benchmark_group("matmul_threads");
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 512usize;
+    let a = rand_matrix(&mut rng, n, n);
+    let b = rand_matrix(&mut rng, n, n);
+    group.bench_with_input(BenchmarkId::new("threads", 1), &n, |bench, _| {
+        bench.iter(|| gemm::with_kernel_threads(1, || gemm::gemm_nn(&a, &b)))
+    });
+    let full = gemm::configured_threads();
+    group.bench_with_input(BenchmarkId::new("threads", full), &n, |bench, _| {
+        bench.iter(|| gemm::gemm_nn(&a, &b))
+    });
     group.finish();
 }
 
@@ -82,6 +131,7 @@ fn bench_segment_softmax(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_gather_scatter, bench_segment_softmax
+    targets = bench_matmul, bench_matmul_blocked_vs_naive, bench_matmul_thread_scaling,
+        bench_gather_scatter, bench_segment_softmax
 }
 criterion_main!(benches);

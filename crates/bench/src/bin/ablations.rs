@@ -23,8 +23,7 @@ fn main() {
     let opts = Options::from_env();
     let mut cfg = base_config(Dataset::DblpLike, &opts);
     cfg.num_clients = opts.get("clients").unwrap_or(8);
-    let mut table =
-        TextTable::new(&["Ablation", "Setting", "ROC-AUC", "Best AUC", "Uplink units"]);
+    let mut table = TextTable::new(&["Ablation", "Setting", "ROC-AUC", "Best AUC", "Uplink units"]);
 
     // 1. mask-update rule
     let exp = Experiment::new(cfg.clone());
@@ -67,7 +66,10 @@ fn main() {
     }
 
     // 3. decoder
-    for (setting, dec) in [("dot product", Decoder::DotProduct), ("DistMult", Decoder::DistMult)] {
+    for (setting, dec) in [
+        ("dot product", Decoder::DotProduct),
+        ("DistMult", Decoder::DistMult),
+    ] {
         let mut c = cfg.clone();
         c.model.decoder = dec;
         let exp = Experiment::new(c);
@@ -138,8 +140,20 @@ fn main() {
     // 7. differential privacy on returned updates
     for (setting, privacy) in [
         ("no DP (paper)", None),
-        ("clip=1.0, sigma=0.01", Some(PrivacyConfig { clip_norm: 1.0, noise_multiplier: 0.01 })),
-        ("clip=1.0, sigma=0.1", Some(PrivacyConfig { clip_norm: 1.0, noise_multiplier: 0.1 })),
+        (
+            "clip=1.0, sigma=0.01",
+            Some(PrivacyConfig {
+                clip_norm: 1.0,
+                noise_multiplier: 0.01,
+            }),
+        ),
+        (
+            "clip=1.0, sigma=0.1",
+            Some(PrivacyConfig {
+                clip_norm: 1.0,
+                noise_multiplier: 0.1,
+            }),
+        ),
     ] {
         let mut c = cfg.clone();
         c.privacy = privacy;

@@ -58,8 +58,7 @@ fn main() {
         }
         for rc_round in comm.iter().skip(1) {
             if rc_round.active_clients > 0 {
-                let per_client =
-                    rc_round.uplink_units as f64 / rc_round.active_clients as f64;
+                let per_client = rc_round.uplink_units as f64 / rc_round.active_clients as f64;
                 let masked_units = (n as f64 - per_client).max(0.0);
                 rp_samples.push((masked_units / n_d as f64).min(1.0));
             }
@@ -67,7 +66,13 @@ fn main() {
         let r_c = mean(&rc_samples).unwrap_or(1.0).clamp(0.01, 1.0);
         let r_p = mean(&rp_samples).unwrap_or(0.0).clamp(0.0, 1.0);
 
-        let inputs = analysis::EfficiencyInputs { m, n, n_d, r_c, r_p };
+        let inputs = analysis::EfficiencyInputs {
+            m,
+            n,
+            n_d,
+            r_c,
+            r_p,
+        };
         let predicted = match fedda.strategy {
             Reactivation::Restart { beta_r } => {
                 let t0 = analysis::restart_period(r_c, beta_r).min(rounds.max(1));

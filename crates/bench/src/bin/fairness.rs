@@ -6,10 +6,10 @@
 //!
 //! Usage: `cargo run -p fedda-bench --release --bin fairness [--quick]`
 
+use fedda::experiment::{Dataset, Experiment};
 use fedda::fl::{FedAvg, FedDa};
 use fedda::table::TextTable;
 use fedda_bench::{base_config, Options};
-use fedda::experiment::{Dataset, Experiment};
 
 fn main() {
     let opts = Options::from_env();
@@ -41,7 +41,13 @@ fn main() {
         let detail = system.evaluate_global_detailed(exp.config().rounds);
         if table.is_none() {
             let mut header: Vec<String> = vec!["Framework".into()];
-            header.extend(detail.auc_by_edge_type.groups.iter().map(|(n, _, _)| n.clone()));
+            header.extend(
+                detail
+                    .auc_by_edge_type
+                    .groups
+                    .iter()
+                    .map(|(n, _, _)| n.clone()),
+            );
             header.extend(["macro".into(), "weighted".into(), "gap".into()]);
             let refs: Vec<&str> = header.iter().map(String::as_str).collect();
             table = Some(TextTable::new(&refs));

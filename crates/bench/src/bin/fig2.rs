@@ -35,8 +35,14 @@ fn main() {
         for &c in &fractions {
             let fw = Framework::FedAvg(FedAvg::with_fractions(c, 1.0));
             let res = exp.run_framework(&fw);
-            println!("{}", render_curve(&format!("C={c:.2} best"), &res.auc_curves.max_curve()));
-            println!("{}", render_curve(&format!("C={c:.2} worst"), &res.auc_curves.min_curve()));
+            println!(
+                "{}",
+                render_curve(&format!("C={c:.2} best"), &res.auc_curves.max_curve())
+            );
+            println!(
+                "{}",
+                render_curve(&format!("C={c:.2} worst"), &res.auc_curves.min_curve())
+            );
             results_json.push((format!("fig2_C_{label}_{c}"), res));
         }
 
@@ -47,8 +53,14 @@ fn main() {
         for &d in &fractions {
             let fw = Framework::FedAvg(FedAvg::with_fractions(1.0, d));
             let res = exp.run_framework(&fw);
-            println!("{}", render_curve(&format!("D={d:.2} best"), &res.auc_curves.max_curve()));
-            println!("{}", render_curve(&format!("D={d:.2} worst"), &res.auc_curves.min_curve()));
+            println!(
+                "{}",
+                render_curve(&format!("D={d:.2} best"), &res.auc_curves.max_curve())
+            );
+            println!(
+                "{}",
+                render_curve(&format!("D={d:.2} worst"), &res.auc_curves.min_curve())
+            );
             results_json.push((format!("fig2_D_{label}_{d}"), res));
         }
     }
@@ -58,7 +70,10 @@ fn main() {
     for (name, res) in &results_json {
         let best = res.auc_curves.max_curve().last().copied().unwrap_or(0.0);
         let worst = res.auc_curves.min_curve().last().copied().unwrap_or(0.0);
-        println!("{name:<28} best={best:.4} worst={worst:.4} spread={:.4}", best - worst);
+        println!(
+            "{name:<28} best={best:.4} worst={worst:.4} spread={:.4}",
+            best - worst
+        );
     }
 
     if let Some(path) = opts.get_str("json") {

@@ -36,7 +36,13 @@ fn main() {
         let mut results = Vec::new();
         for fw in &frameworks {
             let res = exp.run_framework(fw);
-            println!("{}", render_curve(&format!("{} (mean)", res.name), &res.auc_curves.mean_curve()));
+            println!(
+                "{}",
+                render_curve(
+                    &format!("{} (mean)", res.name),
+                    &res.auc_curves.mean_curve()
+                )
+            );
             results.push(res);
         }
         let mut chart = fedda::plot::AsciiChart::new(64, 14);
@@ -46,12 +52,23 @@ fn main() {
         println!("{}", chart.render());
         println!("-- best/worst envelopes (Fig. 5c/5d style) --");
         for res in &results[1..] {
-            println!("{}", render_curve(&format!("{} best", res.name), &res.auc_curves.max_curve()));
-            println!("{}", render_curve(&format!("{} worst", res.name), &res.auc_curves.min_curve()));
+            println!(
+                "{}",
+                render_curve(&format!("{} best", res.name), &res.auc_curves.max_curve())
+            );
+            println!(
+                "{}",
+                render_curve(&format!("{} worst", res.name), &res.auc_curves.min_curve())
+            );
         }
 
         // RQ3: rounds needed to reach FedAvg's final mean AUC.
-        let fedavg_final = results[1].auc_curves.mean_curve().last().copied().unwrap_or(0.5);
+        let fedavg_final = results[1]
+            .auc_curves
+            .mean_curve()
+            .last()
+            .copied()
+            .unwrap_or(0.5);
         println!("-- rounds to reach FedAvg's final mean AUC ({fedavg_final:.4}) --");
         for res in &results[1..] {
             match res.auc_curves.rounds_to_reach(fedavg_final) {

@@ -31,7 +31,10 @@ fn main() {
         let mut fedda = FedDa::restart();
         fedda.strategy = Reactivation::Restart { beta_r };
         let res = exp.run_framework(&Framework::FedDa(fedda));
-        println!("{}", render_curve(&format!("beta_r={beta_r}"), &res.auc_curves.mean_curve()));
+        println!(
+            "{}",
+            render_curve(&format!("beta_r={beta_r}"), &res.auc_curves.mean_curve())
+        );
         println!(
             "  final={} best={} uplink={:.0}\n",
             res.final_auc.fmt_pm(),
@@ -47,7 +50,10 @@ fn main() {
         let mut fedda = FedDa::explore();
         fedda.alpha = alpha;
         let res = exp.run_framework(&Framework::FedDa(fedda));
-        println!("{}", render_curve(&format!("alpha={alpha}"), &res.auc_curves.mean_curve()));
+        println!(
+            "{}",
+            render_curve(&format!("alpha={alpha}"), &res.auc_curves.mean_curve())
+        );
         println!(
             "  final={} best={} uplink={:.0}\n",
             res.final_auc.fmt_pm(),
@@ -63,7 +69,10 @@ fn main() {
         let mut fedda = FedDa::explore();
         fedda.strategy = Reactivation::Explore { beta_e };
         let res = exp.run_framework(&Framework::FedDa(fedda));
-        println!("{}", render_curve(&format!("beta_e={beta_e}"), &res.auc_curves.mean_curve()));
+        println!(
+            "{}",
+            render_curve(&format!("beta_e={beta_e}"), &res.auc_curves.mean_curve())
+        );
         println!(
             "  final={} best={} uplink={:.0}\n",
             res.final_auc.fmt_pm(),

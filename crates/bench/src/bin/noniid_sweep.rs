@@ -58,8 +58,7 @@ fn main() {
             seed: cfg.seed,
             ..Default::default()
         };
-        let mut sys_avg =
-            FlSystem::new(&split.train, &split.test, clients.clone(), fl_cfg.clone());
+        let mut sys_avg = FlSystem::new(&split.train, &split.test, clients.clone(), fl_cfg.clone());
         let fedavg = FedAvg::vanilla().run(&mut sys_avg);
         let mut sys_da = FlSystem::new(&split.train, &split.test, clients, fl_cfg);
         let fedda = FedDa::explore().run(&mut sys_da);

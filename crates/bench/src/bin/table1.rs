@@ -16,9 +16,19 @@ fn main() {
 
     println!("Table 1: Statistics of the datasets (synthetic, scale = {scale})\n");
     println!("{}", DatasetStats::table_header());
-    let amazon = amazon_like(&PresetOptions { scale, seed, ..Default::default() }).graph;
+    let amazon = amazon_like(&PresetOptions {
+        scale,
+        seed,
+        ..Default::default()
+    })
+    .graph;
     println!("{}", DatasetStats::compute("Amazon", &amazon).table_row());
-    let dblp = dblp_like(&PresetOptions { scale, seed, ..Default::default() }).graph;
+    let dblp = dblp_like(&PresetOptions {
+        scale,
+        seed,
+        ..Default::default()
+    })
+    .graph;
     println!("{}", DatasetStats::compute("DBLP", &dblp).table_row());
 
     println!("\nPaper's original (scale = 1.0):");
@@ -40,8 +50,11 @@ fn main() {
             .edge_type_ids()
             .map(|t| g.schema().edge_type(t).name.clone())
             .collect();
-        let detail: Vec<String> =
-            names.iter().zip(&counts).map(|(n, c)| format!("{n}={c}")).collect();
+        let detail: Vec<String> = names
+            .iter()
+            .zip(&counts)
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect();
         println!("  {name}: {}", detail.join(", "));
     }
 }

@@ -75,13 +75,23 @@ pub fn experiment_model(paper: bool) -> HgnConfig {
     if paper {
         HgnConfig::paper_default()
     } else {
-        HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, edge_emb_dim: 8, ..Default::default() }
+        HgnConfig {
+            hidden_dim: 8,
+            num_layers: 2,
+            num_heads: 2,
+            edge_emb_dim: 8,
+            ..Default::default()
+        }
     }
 }
 
 /// The local-training configuration the experiments use.
 pub fn experiment_train() -> TrainConfig {
-    TrainConfig { local_epochs: 2, lr: 5e-3, ..Default::default() }
+    TrainConfig {
+        local_epochs: 2,
+        lr: 5e-3,
+        ..Default::default()
+    }
 }
 
 /// Build a baseline [`ExperimentConfig`] for a dataset from parsed options.
@@ -94,7 +104,9 @@ pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
         dataset,
         scale: opts.get("scale").unwrap_or(default_scale),
         num_clients: opts.get("clients").unwrap_or(8),
-        rounds: opts.get("rounds").unwrap_or(if opts.paper { 40 } else { 20 }),
+        rounds: opts
+            .get("rounds")
+            .unwrap_or(if opts.paper { 40 } else { 20 }),
         runs: opts.get("runs").unwrap_or(if opts.paper { 5 } else { 3 }),
         model: experiment_model(opts.paper),
         train: experiment_train(),
@@ -135,7 +147,9 @@ mod tests {
     #[test]
     fn parses_flags_and_switches() {
         let o = Options::from_args(
-            ["--scale", "0.01", "--runs", "5", "--quick"].iter().map(|s| s.to_string()),
+            ["--scale", "0.01", "--runs", "5", "--quick"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert_eq!(o.get::<f64>("scale"), Some(0.01));
         assert_eq!(o.get::<usize>("runs"), Some(5));
@@ -147,7 +161,9 @@ mod tests {
     #[test]
     fn base_config_respects_overrides() {
         let o = Options::from_args(
-            ["--clients", "16", "--rounds", "10"].iter().map(|s| s.to_string()),
+            ["--clients", "16", "--rounds", "10"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         let cfg = base_config(Dataset::DblpLike, &o);
         assert_eq!(cfg.num_clients, 16);

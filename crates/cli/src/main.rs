@@ -128,7 +128,9 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
 
 fn cmd_partition(opts: &Options) -> Result<(), String> {
     let path = opts.get_str("graph").ok_or("--graph <path> is required")?;
-    let out_dir = opts.get_str("out-dir").ok_or("--out-dir <dir> is required")?;
+    let out_dir = opts
+        .get_str("out-dir")
+        .ok_or("--out-dir <dir> is required")?;
     let clients = opts.get("clients").unwrap_or(8usize);
     let seed: u64 = opts.get("seed").unwrap_or(0);
     let test_fraction: f64 = opts.get("test-fraction").unwrap_or(0.1);
@@ -137,8 +139,7 @@ fn cmd_partition(opts: &Options) -> Result<(), String> {
     let graph = io::load_json(Path::new(path)).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(seed);
     let split = split_edges(&graph, test_fraction, &mut rng);
-    let pcfg =
-        PartitionConfig::paper_defaults(clients, graph.schema().num_edge_types(), seed);
+    let pcfg = PartitionConfig::paper_defaults(clients, graph.schema().num_edge_types(), seed);
     let parts = if iid {
         partition_iid(&split.train, &pcfg)
     } else {

@@ -84,7 +84,11 @@ impl Default for ExperimentConfig {
             runs: 5,
             iid: false,
             model: HgnConfig::default(),
-            train: TrainConfig { local_epochs: 2, lr: 5e-3, ..Default::default() },
+            train: TrainConfig {
+                local_epochs: 2,
+                lr: 5e-3,
+                ..Default::default()
+            },
             eval_negatives: 5,
             seed: 0,
             parallel: true,
@@ -113,13 +117,14 @@ impl Framework {
         match self {
             Framework::Global => "Global".into(),
             Framework::Local => "Local".into(),
-            Framework::FedAvg(f)
-                if f.client_fraction >= 1.0 && f.param_fraction >= 1.0 =>
-            {
+            Framework::FedAvg(f) if f.client_fraction >= 1.0 && f.param_fraction >= 1.0 => {
                 "FedAvg".into()
             }
             Framework::FedAvg(f) => {
-                format!("FedAvg(C={:.2},D={:.2})", f.client_fraction, f.param_fraction)
+                format!(
+                    "FedAvg(C={:.2},D={:.2})",
+                    f.client_fraction, f.param_fraction
+                )
             }
             Framework::FedDa(f) => match f.strategy {
                 fedda_fl::Reactivation::Restart { .. } => "FedDA 1 (Restart)".into(),
@@ -158,7 +163,11 @@ pub struct Experiment {
 impl Experiment {
     /// Generate the dataset and the global train/test split.
     pub fn new(cfg: ExperimentConfig) -> Self {
-        let opts = PresetOptions { scale: cfg.scale, seed: cfg.seed, ..Default::default() };
+        let opts = PresetOptions {
+            scale: cfg.scale,
+            seed: cfg.seed,
+            ..Default::default()
+        };
         let generated = match cfg.dataset {
             Dataset::AmazonLike => amazon_like(&opts),
             Dataset::DblpLike => dblp_like(&opts),
@@ -180,7 +189,10 @@ impl Experiment {
 
     /// Seed of run `r`.
     fn run_seed(&self, run: usize) -> u64 {
-        self.cfg.seed.wrapping_add(1 + run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        self.cfg
+            .seed
+            .wrapping_add(1 + run as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Partition clients for run `r`.
@@ -283,7 +295,11 @@ mod tests {
                 edge_emb_dim: 4,
                 ..Default::default()
             },
-            train: TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+            train: TrainConfig {
+                local_epochs: 1,
+                lr: 5e-3,
+                ..Default::default()
+            },
             eval_negatives: 2,
             seed: 7,
             parallel: true,
@@ -328,8 +344,14 @@ mod tests {
     fn framework_names_match_paper() {
         assert_eq!(Framework::Global.name(), "Global");
         assert_eq!(Framework::FedAvg(FedAvg::vanilla()).name(), "FedAvg");
-        assert_eq!(Framework::FedDa(FedDa::restart()).name(), "FedDA 1 (Restart)");
-        assert_eq!(Framework::FedDa(FedDa::explore()).name(), "FedDA 2 (Explore)");
+        assert_eq!(
+            Framework::FedDa(FedDa::restart()).name(),
+            "FedDA 1 (Restart)"
+        );
+        assert_eq!(
+            Framework::FedDa(FedDa::explore()).name(),
+            "FedDA 2 (Explore)"
+        );
         assert_eq!(
             Framework::FedAvg(FedAvg::with_fractions(0.8, 1.0)).name(),
             "FedAvg(C=0.80,D=1.00)"

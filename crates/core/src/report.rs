@@ -22,11 +22,7 @@ pub fn framework_to_json(result: &FrameworkResult) -> Value {
 }
 
 /// Bundle several results under named experiment metadata.
-pub fn experiment_to_json(
-    experiment_id: &str,
-    meta: Value,
-    results: &[FrameworkResult],
-) -> Value {
+pub fn experiment_to_json(experiment_id: &str, meta: Value, results: &[FrameworkResult]) -> Value {
     json!({
         "experiment": experiment_id,
         "meta": meta,
@@ -40,7 +36,11 @@ pub fn write_json(path: &Path, value: &Value) -> std::io::Result<()> {
         std::fs::create_dir_all(parent)?;
     }
     let mut f = std::fs::File::create(path)?;
-    f.write_all(serde_json::to_string_pretty(value).expect("json serialise").as_bytes())?;
+    f.write_all(
+        serde_json::to_string_pretty(value)
+            .expect("json serialise")
+            .as_bytes(),
+    )?;
     f.write_all(b"\n")
 }
 

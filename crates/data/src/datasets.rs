@@ -29,7 +29,12 @@ pub struct PresetOptions {
 
 impl Default for PresetOptions {
     fn default() -> Self {
-        Self { scale: 0.05, feat_dim: 32, latent_dim: 8, seed: 0 }
+        Self {
+            scale: 0.05,
+            feat_dim: 32,
+            latent_dim: 8,
+            seed: 0,
+        }
     }
 }
 
@@ -83,11 +88,7 @@ pub fn dblp_like(opts: &PresetOptions) -> GeneratedGraph {
         scaled(2_100_000, opts.scale, 250), // phrase-phrase
         scaled(600_000, opts.scale, 120),   // phrase-year
     ];
-    let mut cfg = LatentGraphConfig::new(
-        schema,
-        vec![authors, phrases, years],
-        edges.to_vec(),
-    );
+    let mut cfg = LatentGraphConfig::new(schema, vec![authors, phrases, years], edges.to_vec());
     cfg.latent_dim = opts.latent_dim;
     generate(&cfg, opts.seed)
 }
@@ -98,7 +99,10 @@ mod tests {
 
     #[test]
     fn amazon_schema_matches_paper() {
-        let opts = PresetOptions { scale: 0.01, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.01,
+            ..Default::default()
+        };
         let g = amazon_like(&opts).graph;
         assert_eq!(g.schema().num_node_types(), 1);
         assert_eq!(g.schema().num_edge_types(), 2);
@@ -109,7 +113,10 @@ mod tests {
 
     #[test]
     fn dblp_schema_matches_paper() {
-        let opts = PresetOptions { scale: 0.002, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.002,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
         assert_eq!(g.schema().num_node_types(), 3);
         assert_eq!(g.schema().num_edge_types(), 5);
@@ -136,7 +143,11 @@ mod tests {
 
     #[test]
     fn presets_are_seed_deterministic() {
-        let opts = PresetOptions { scale: 0.005, seed: 42, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.005,
+            seed: 42,
+            ..Default::default()
+        };
         let a = amazon_like(&opts).graph;
         let b = amazon_like(&opts).graph;
         assert_eq!(a.edge_counts(), b.edge_counts());

@@ -120,8 +120,7 @@ pub fn generate(config: &LatentGraphConfig, seed: u64) -> GeneratedGraph {
             communities.push(c as u32);
             for j in 0..d {
                 let (n0, _) = init::box_muller(&mut rng);
-                latents[global * d + j] =
-                    centroids.get(c, j) + config.within_community_std * n0;
+                latents[global * d + j] = centroids.get(c, j) + config.within_community_std * n0;
             }
             global += 1;
         }
@@ -260,10 +259,16 @@ mod tests {
         let c = small_config();
         let g1 = generate(&c, 5);
         let g2 = generate(&c, 5);
-        assert_eq!(g1.graph.edges_of_type(EdgeTypeId(0)), g2.graph.edges_of_type(EdgeTypeId(0)));
+        assert_eq!(
+            g1.graph.edges_of_type(EdgeTypeId(0)),
+            g2.graph.edges_of_type(EdgeTypeId(0))
+        );
         assert_eq!(g1.latents, g2.latents);
         let g3 = generate(&c, 6);
-        assert_ne!(g1.graph.edges_of_type(EdgeTypeId(0)), g3.graph.edges_of_type(EdgeTypeId(0)));
+        assert_ne!(
+            g1.graph.edges_of_type(EdgeTypeId(0)),
+            g3.graph.edges_of_type(EdgeTypeId(0))
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ mod tests {
 
     #[test]
     fn stats_reflect_generated_graph() {
-        let g = amazon_like(&PresetOptions { scale: 0.01, seed: 4, ..Default::default() }).graph;
+        let g = amazon_like(&PresetOptions {
+            scale: 0.01,
+            seed: 4,
+            ..Default::default()
+        })
+        .graph;
         let s = DatasetStats::compute("Amazon", &g);
         assert_eq!(s.num_nodes, g.num_nodes());
         assert_eq!(s.num_node_types, 1);
@@ -76,7 +81,12 @@ mod tests {
 
     #[test]
     fn table_row_is_aligned_with_header() {
-        let g = amazon_like(&PresetOptions { scale: 0.01, seed: 4, ..Default::default() }).graph;
+        let g = amazon_like(&PresetOptions {
+            scale: 0.01,
+            seed: 4,
+            ..Default::default()
+        })
+        .graph;
         let s = DatasetStats::compute("Amazon", &g);
         let header = DatasetStats::table_header();
         let row = s.table_row();

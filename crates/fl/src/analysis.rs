@@ -73,7 +73,11 @@ pub fn restart_expected_units(inp: &EfficiencyInputs, t0: usize) -> f64 {
     // (1 - rc^{t0+1}) / (1 - rc) = sum_{k=0}^{t0} rc^k
     let clients_term = m * n * geom(rc, 0, t0);
     // (rcrp - rcrp^{t0+1}) / (1 - rcrp) = sum_{k=1}^{t0} rcrp^k
-    let savings_term = if t0 >= 1 { m * n_d * geom(rcrp, 1, t0) } else { 0.0 };
+    let savings_term = if t0 >= 1 {
+        m * n_d * geom(rcrp, 1, t0)
+    } else {
+        0.0
+    };
     clients_term - savings_term
 }
 
@@ -119,7 +123,13 @@ mod tests {
     use super::*;
 
     fn inputs() -> EfficiencyInputs {
-        EfficiencyInputs { m: 16, n: 65, n_d: 20, r_c: 0.8, r_p: 0.5 }
+        EfficiencyInputs {
+            m: 16,
+            n: 65,
+            n_d: 20,
+            r_c: 0.8,
+            r_p: 0.5,
+        }
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn run_global(system: &mut FlSystem) -> RunResult {
             &mut rng,
         );
         let eval = system.evaluate_params(&params, round);
-        result.curve.push(RoundEval { round, roc_auc: eval.roc_auc, mrr: eval.mrr });
+        result.curve.push(RoundEval {
+            round,
+            roc_auc: eval.roc_auc,
+            mrr: eval.mrr,
+        });
         result.final_eval = eval;
     }
     system.global = params;
@@ -71,7 +75,7 @@ pub fn run_local_only(system: &FlSystem) -> LocalResult {
     let mut result = LocalResult::default();
     for (i, client) in system.clients.iter().enumerate() {
         let mut params = system.global.clone();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10_CA_1 ^ (i as u64) << 8);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0001_0CA1 ^ (i as u64) << 8);
         let sampler = LinkSampler::new(&client.data.graph);
         for _round in 0..cfg.rounds {
             train_local(
@@ -102,7 +106,11 @@ mod tests {
         let before = sys.global.flatten();
         let result = run_global(&mut sys);
         assert_eq!(result.curve.len(), sys.config().rounds);
-        assert_ne!(sys.global.flatten(), before, "global training must move parameters");
+        assert_ne!(
+            sys.global.flatten(),
+            before,
+            "global training must move parameters"
+        );
         assert!(result.final_eval.roc_auc > 0.0);
     }
 

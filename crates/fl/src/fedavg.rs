@@ -23,7 +23,10 @@ pub struct FedAvg {
 
 impl Default for FedAvg {
     fn default() -> Self {
-        Self { client_fraction: 1.0, param_fraction: 1.0 }
+        Self {
+            client_fraction: 1.0,
+            param_fraction: 1.0,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ impl FedAvg {
     pub fn with_fractions(client_fraction: f64, param_fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&client_fraction) && client_fraction > 0.0);
         assert!((0.0..=1.0).contains(&param_fraction) && param_fraction > 0.0);
-        Self { client_fraction, param_fraction }
+        Self {
+            client_fraction,
+            param_fraction,
+        }
     }
 
     /// Run `cfg.rounds` rounds, evaluating the global model after each.
@@ -63,7 +69,11 @@ impl FedAvg {
             system.aggregate_masked(&returns, &masks);
             result.comm.push(system.round_comm(&masks));
             let eval = system.evaluate_global(round);
-            result.curve.push(RoundEval { round, roc_auc: eval.roc_auc, mrr: eval.mrr });
+            result.curve.push(RoundEval {
+                round,
+                roc_auc: eval.roc_auc,
+                mrr: eval.mrr,
+            });
             result.final_eval = eval;
         }
         result
@@ -81,7 +91,10 @@ mod tests {
         let result = FedAvg::vanilla().run(&mut sys);
         let rounds = sys.config().rounds;
         assert_eq!(result.curve.len(), rounds);
-        assert_eq!(result.comm.total_uplink_units(), rounds * 3 * sys.num_units());
+        assert_eq!(
+            result.comm.total_uplink_units(),
+            rounds * 3 * sys.num_units()
+        );
         assert_eq!(result.comm.total_activations(), rounds * 3);
         assert!(result.final_eval.roc_auc > 0.0);
     }
@@ -92,7 +105,10 @@ mod tests {
         let result = FedAvg::with_fractions(0.5, 1.0).run(&mut sys);
         let rounds = sys.config().rounds;
         assert_eq!(result.comm.total_activations(), rounds * 2);
-        assert_eq!(result.comm.total_uplink_units(), rounds * 2 * sys.num_units());
+        assert_eq!(
+            result.comm.total_uplink_units(),
+            rounds * 2 * sys.num_units()
+        );
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl MaskRule {
             }
             MaskRule::GradientMedian => Some(quantile(magnitudes, 0.5)),
             MaskRule::GradientQuantile(q) => {
-                assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
+                // Range is enforced by `FedDa::validate()` before a run
+                // starts; this is only a tripwire for callers that skip it.
+                debug_assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
                 Some(quantile(magnitudes, q))
             }
             MaskRule::LiteralEq7 => None,
@@ -165,11 +167,18 @@ impl FedDa {
             Reactivation::Restart { beta_r } => beta_r,
             Reactivation::Explore { beta_e } => beta_e,
         };
-        if !(0.0..1.0).contains(&beta) {
+        // β ∈ (0,1), exclusive on both ends: β = 0 would disable
+        // reactivation entirely, which the docs rule out.
+        if beta <= 0.0 || beta >= 1.0 || beta.is_nan() {
             return Err(format!("beta must be in (0,1), got {beta}"));
         }
         if !(0.0..=1.0).contains(&self.alpha) {
             return Err(format!("alpha must be in [0,1], got {}", self.alpha));
+        }
+        if let MaskRule::GradientQuantile(q) = self.mask_rule {
+            if !(0.0..1.0).contains(&q) {
+                return Err(format!("mask quantile must be in [0,1), got {q}"));
+            }
         }
         Ok(())
     }
@@ -197,8 +206,7 @@ impl FedDa {
         let mut result = RunResult::default();
 
         for round in 0..rounds {
-            let active_list: Vec<usize> =
-                (0..m).filter(|&i| active[i]).collect();
+            let active_list: Vec<usize> = (0..m).filter(|&i| active[i]).collect();
             debug_assert!(!active_list.is_empty(), "active set must never be empty");
             let mask_density = active_list
                 .iter()
@@ -242,8 +250,7 @@ impl FedDa {
                     let n_active = active.iter().filter(|&&a| a).count();
                     if (n_active as f64) < beta_r * m as f64 {
                         snapshot.restarted = true;
-                        snapshot.reactivated =
-                            (0..m).filter(|&i| !active[i]).collect();
+                        snapshot.reactivated = (0..m).filter(|&i| !active[i]).collect();
                         active.iter_mut().for_each(|a| *a = true);
                         for mask in &mut masks {
                             mask.iter_mut().for_each(|b| *b = true);
@@ -256,9 +263,9 @@ impl FedDa {
                     if n_active < target {
                         let mut pool: Vec<usize> = (0..m)
                             .filter(|&i| {
-                                !active[i]
-                                    && !(self.explore_cooldown
-                                        && just_deactivated.contains(&i))
+                                let cooling =
+                                    self.explore_cooldown && just_deactivated.contains(&i);
+                                !active[i] && !cooling
                             })
                             .collect();
                         pool.shuffle(&mut rng);
@@ -271,8 +278,19 @@ impl FedDa {
                 }
             }
             // Safety net: never enter a round with an empty active set
-            // (possible when alpha is aggressive and beta small).
+            // (possible when alpha is aggressive and beta small — e.g.
+            // Explore with cool-down, where every candidate in the pool was
+            // deactivated this very round). The full reset is a restart, and
+            // the trace must say so: without recording it, the next round's
+            // snapshot would show clients active that were never listed as
+            // reactivated.
             if active.iter().all(|&a| !a) {
+                snapshot.restarted = true;
+                for i in 0..m {
+                    if !snapshot.reactivated.contains(&i) {
+                        snapshot.reactivated.push(i);
+                    }
+                }
                 active.iter_mut().for_each(|a| *a = true);
                 for mask in &mut masks {
                     mask.iter_mut().for_each(|b| *b = true);
@@ -281,7 +299,11 @@ impl FedDa {
 
             result.activation_trace.push(snapshot);
             let eval = system.evaluate_global(round);
-            result.curve.push(RoundEval { round, roc_auc: eval.roc_auc, mrr: eval.mrr });
+            result.curve.push(RoundEval {
+                round,
+                roc_auc: eval.roc_auc,
+                mrr: eval.mrr,
+            });
             result.final_eval = eval;
         }
         result
@@ -309,8 +331,11 @@ impl FedDa {
                     let agg_mean = agg_mean.value().mean();
                     for r in returns {
                         if masks[r.client][k] {
-                            let client_mean =
-                                r.params.get(fedda_tensor::ParamId::from_index(k)).value().mean();
+                            let client_mean = r
+                                .params
+                                .get(fedda_tensor::ParamId::from_index(k))
+                                .value()
+                                .mean();
                             if agg_mean > client_mean {
                                 masks[r.client][k] = false;
                             }
@@ -328,10 +353,8 @@ impl FedDa {
                     if contributions.len() < 2 {
                         continue; // a single contributor is never below threshold
                     }
-                    let magnitudes: Vec<f32> =
-                        contributions.iter().map(|&(_, d)| d).collect();
-                    let threshold =
-                        rule.threshold(&magnitudes).expect("threshold-based rule");
+                    let magnitudes: Vec<f32> = contributions.iter().map(|&(_, d)| d).collect();
+                    let threshold = rule.threshold(&magnitudes).expect("threshold-based rule");
                     for &(client, delta) in &contributions {
                         if delta < threshold {
                             masks[client][k] = false;
@@ -373,7 +396,11 @@ mod tests {
         // β_e = 0.667 of 6 = 4: every round after masks shrink must still
         // activate ≥ 4 clients... except round 0 which activates all 6.
         for rc in result.comm.rounds() {
-            assert!(rc.active_clients >= 4, "explore floor violated: {}", rc.active_clients);
+            assert!(
+                rc.active_clients >= 4,
+                "explore floor violated: {}",
+                rc.active_clients
+            );
         }
     }
 
@@ -387,7 +414,10 @@ mod tests {
         // active client) because disentangled units get masked.
         let per_client_0 = rounds[0].uplink_units as f64 / rounds[0].active_clients as f64;
         let per_client_1 = rounds[1].uplink_units as f64 / rounds[1].active_clients as f64;
-        assert!(per_client_1 < per_client_0, "{per_client_1} !< {per_client_0}");
+        assert!(
+            per_client_1 < per_client_0,
+            "{per_client_1} !< {per_client_0}"
+        );
     }
 
     #[test]
@@ -418,14 +448,9 @@ mod tests {
         assert_eq!(sys_da.global.flatten(), sys_avg.global.flatten());
     }
 
-    #[test]
-    fn activation_trace_is_consistent() {
-        let mut sys = tiny_system(5, 28);
-        let result = FedDa::explore().run(&mut sys);
-        assert_eq!(result.activation_trace.len(), sys.config().rounds);
-        let first = &result.activation_trace[0];
-        assert_eq!(first.active_clients.len(), 5, "round 0 activates everyone");
-        assert!((first.mask_density - 1.0).abs() < 1e-12, "round 0 masks are full");
+    /// Invariants every FedDA activation trace must satisfy.
+    fn check_trace(result: &crate::system::RunResult, rounds: usize) {
+        assert_eq!(result.activation_trace.len(), rounds);
         for snap in &result.activation_trace {
             assert!(!snap.active_clients.is_empty());
             assert!((0.0..=1.0).contains(&snap.mask_density));
@@ -438,9 +463,60 @@ mod tests {
                 assert!(!snap.active_clients.contains(r) || snap.restarted);
             }
         }
+    }
+
+    #[test]
+    fn activation_trace_is_consistent() {
+        let mut sys = tiny_system(5, 28);
+        let result = FedDa::explore().run(&mut sys);
+        let first = &result.activation_trace[0];
+        assert_eq!(first.active_clients.len(), 5, "round 0 activates everyone");
+        assert!(
+            (first.mask_density - 1.0).abs() < 1e-12,
+            "round 0 masks are full"
+        );
+        check_trace(&result, sys.config().rounds);
         // FedAvg leaves the trace empty.
         let fedavg = crate::FedAvg::vanilla().run(&mut tiny_system(3, 28));
         assert!(fedavg.activation_trace.is_empty());
+    }
+
+    #[test]
+    fn safety_net_restore_is_recorded_in_trace() {
+        // α = 1 deactivates any client that loses a single disentangled
+        // unit, and the 0.9-quantile rule masks every non-top contributor,
+        // so whole-cohort deactivation happens quickly. With the explore
+        // cool-down excluding just-deactivated clients, the reactivation
+        // pool is then empty and the empty-active-set safety net must fire
+        // — and must show up in the trace as a restart that reactivates
+        // everyone, or the trace would claim clients active that were never
+        // listed as reactivated.
+        let aggressive = FedDa {
+            strategy: Reactivation::Explore { beta_e: 0.2 },
+            alpha: 1.0,
+            mask_rule: MaskRule::GradientQuantile(0.9),
+            explore_cooldown: true,
+        };
+        let m = 4;
+        let mut sys = tiny_system(m, 31);
+        let result = aggressive.run(&mut sys);
+        check_trace(&result, sys.config().rounds);
+        let fired: Vec<_> = result
+            .activation_trace
+            .iter()
+            .filter(|s| s.restarted)
+            .collect();
+        assert!(
+            !fired.is_empty(),
+            "expected the safety net to fire under this config"
+        );
+        for snap in &fired {
+            assert_eq!(
+                snap.reactivated.len(),
+                m,
+                "the restore brings everyone back"
+            );
+        }
     }
 
     #[test]
@@ -483,6 +559,31 @@ mod tests {
         let mut f = FedDa::explore();
         f.alpha = -0.1;
         assert!(f.validate().is_err());
+        // β ∈ (0,1) is exclusive: β = 0 would never reactivate anyone.
+        let mut f = FedDa::restart();
+        f.strategy = Reactivation::Restart { beta_r: 0.0 };
+        assert!(f.validate().is_err(), "beta_r = 0 must be rejected");
+        let mut f = FedDa::explore();
+        f.strategy = Reactivation::Explore { beta_e: 0.0 };
+        assert!(f.validate().is_err(), "beta_e = 0 must be rejected");
+        let mut f = FedDa::explore();
+        f.strategy = Reactivation::Explore { beta_e: 1.0 };
+        assert!(f.validate().is_err(), "beta_e = 1 must be rejected");
+    }
+
+    #[test]
+    fn validate_rejects_bad_quantiles() {
+        // Previously an out-of-range quantile panicked via an assert deep
+        // inside the round loop; validate() must catch it up front.
+        let mut f = FedDa::explore();
+        f.mask_rule = MaskRule::GradientQuantile(1.5);
+        assert!(f.validate().is_err(), "q = 1.5 must be rejected");
+        f.mask_rule = MaskRule::GradientQuantile(-0.1);
+        assert!(f.validate().is_err(), "q = -0.1 must be rejected");
+        f.mask_rule = MaskRule::GradientQuantile(f64::NAN);
+        assert!(f.validate().is_err(), "q = NaN must be rejected");
+        f.mask_rule = MaskRule::GradientQuantile(0.0);
+        assert!(f.validate().is_ok(), "q = 0 (masking disabled) is legal");
     }
 
     #[test]
@@ -492,9 +593,6 @@ mod tests {
         for (a, b) in r1.curve.iter().zip(&r2.curve) {
             assert_eq!(a.roc_auc, b.roc_auc);
         }
-        assert_eq!(
-            r1.comm.total_uplink_units(),
-            r2.comm.total_uplink_units()
-        );
+        assert_eq!(r1.comm.total_uplink_units(), r2.comm.total_uplink_units());
     }
 }

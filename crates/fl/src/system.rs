@@ -7,8 +7,7 @@ use crate::comm::{CommLog, RoundComm};
 use fedda_data::ClientData;
 use fedda_hetgraph::{HeteroGraph, LinkExample, LinkSampler};
 use fedda_hgn::{
-    evaluate, train_local, EvalResult, GraphView, HgnConfig, LinkPredictor, SimpleHgn,
-    TrainConfig,
+    evaluate, train_local, EvalResult, GraphView, HgnConfig, LinkPredictor, SimpleHgn, TrainConfig,
 };
 use fedda_tensor::{ParamId, ParamSet};
 use rand::rngs::StdRng;
@@ -133,9 +132,11 @@ pub struct ActivationSnapshot {
     /// Clients deactivated during the round.
     pub deactivated: Vec<usize>,
     /// Clients reactivated during the round (Restart counts everyone it
-    /// brings back).
+    /// brings back, as does the empty-active-set safety net).
     pub reactivated: Vec<usize>,
-    /// Whether a full `Restart` reset fired this round.
+    /// Whether a full reset fired this round — either the `Restart`
+    /// strategy's threshold, or the empty-active-set safety net (which
+    /// restores everyone regardless of strategy).
     pub restarted: bool,
 }
 
@@ -155,7 +156,10 @@ pub struct RunResult {
 impl RunResult {
     /// Best test AUC along the run.
     pub fn best_auc(&self) -> f64 {
-        self.curve.iter().map(|e| e.roc_auc).fold(f64::NEG_INFINITY, f64::max)
+        self.curve
+            .iter()
+            .map(|e| e.roc_auc)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// First round whose AUC reaches `threshold`.
@@ -198,7 +202,14 @@ impl FlSystem {
         let mut init_rng = StdRng::seed_from_u64(cfg.seed);
         let (model, global) =
             SimpleHgn::init_params(global_train.schema(), &cfg.model, &mut init_rng);
-        Self::with_model(global_train, global_test, clients, cfg, Box::new(model), global)
+        Self::with_model(
+            global_train,
+            global_test,
+            clients,
+            cfg,
+            Box::new(model),
+            global,
+        )
     }
 
     /// Assemble a federation around an arbitrary [`LinkPredictor`] and its
@@ -222,7 +233,12 @@ impl FlSystem {
                 let view = GraphView::new(&data.graph, model.uses_self_loops());
                 let sampler = LinkSampler::new(&data.graph);
                 let positives = sampler.positives_of_types(&data.specialized);
-                Client { data, view, positives, seed }
+                Client {
+                    data,
+                    view,
+                    positives,
+                    seed,
+                }
             })
             .collect();
         let eval_view = GraphView::new(global_train, model.uses_self_loops());
@@ -281,6 +297,17 @@ impl FlSystem {
 
     /// Run local updates on the given clients, starting from the current
     /// global model. Clients run in parallel when configured.
+    ///
+    /// # Thread nesting
+    ///
+    /// Two layers can spawn threads here: this method's per-client workers,
+    /// and the blocked matmul kernels (`fedda_tensor::gemm`) inside each
+    /// client's training loop. Letting both fan out would oversubscribe the
+    /// machine `clients × kernel-threads` ways, so when clients run in
+    /// parallel each worker caps its kernel threads at 1 via
+    /// [`fedda_tensor::gemm::with_kernel_threads`] — parallelism comes from
+    /// clients, matmuls stay single-threaded. In the sequential branch the
+    /// kernels keep the full `FEDDA_THREADS` budget instead.
     pub fn run_local_round(&self, active: &[usize], round: usize) -> Vec<ClientReturn> {
         let work = |&i: &usize| -> ClientReturn {
             let client = &self.clients[i];
@@ -302,7 +329,11 @@ impl FlSystem {
                 apply_privacy(&mut params, &self.global, privacy, &mut rng);
             }
             let unit_delta = params.unit_l2_distances(&self.global);
-            ClientReturn { client: i, params, unit_delta }
+            ClientReturn {
+                client: i,
+                params,
+                unit_delta,
+            }
         };
         if self.cfg.parallel && active.len() > 1 {
             let mut out: Vec<Option<ClientReturn>> = Vec::new();
@@ -310,14 +341,18 @@ impl FlSystem {
             crossbeam::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(active.len());
                 for &i in active {
-                    handles.push(s.spawn(move |_| work(&i)));
+                    handles.push(
+                        s.spawn(move |_| fedda_tensor::gemm::with_kernel_threads(1, || work(&i))),
+                    );
                 }
                 for (slot, h) in out.iter_mut().zip(handles) {
                     *slot = Some(h.join().expect("client thread panicked"));
                 }
             })
             .expect("crossbeam scope failed");
-            out.into_iter().map(|o| o.expect("missing client return")).collect()
+            out.into_iter()
+                .map(|o| o.expect("missing client return"))
+                .collect()
         } else {
             active.iter().map(work).collect()
         }
@@ -532,7 +567,12 @@ pub(crate) mod tests {
     use fedda_hetgraph::split::split_edges;
 
     pub(crate) fn tiny_system(m: usize, seed: u64) -> FlSystem {
-        let g = dblp_like(&PresetOptions { scale: 0.0015, seed, ..Default::default() }).graph;
+        let g = dblp_like(&PresetOptions {
+            scale: 0.0015,
+            seed,
+            ..Default::default()
+        })
+        .graph;
         let mut rng = StdRng::seed_from_u64(seed);
         let split = split_edges(&g, 0.15, &mut rng);
         let pcfg = PartitionConfig::paper_defaults(m, g.schema().num_edge_types(), seed);
@@ -546,7 +586,11 @@ pub(crate) mod tests {
                 edge_emb_dim: 4,
                 ..Default::default()
             },
-            train: TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+            train: TrainConfig {
+                local_epochs: 1,
+                lr: 5e-3,
+                ..Default::default()
+            },
             eval_negatives: 3,
             seed,
             parallel: true,
@@ -572,7 +616,11 @@ pub(crate) mod tests {
         let returns = sys.run_local_round(&[0, 1, 2], 0);
         assert_eq!(returns.len(), 3);
         for r in &returns {
-            assert!(r.unit_delta.iter().any(|&d| d > 0.0), "client {} did not move", r.client);
+            assert!(
+                r.unit_delta.iter().any(|&d| d > 0.0),
+                "client {} did not move",
+                r.client
+            );
             assert_eq!(r.unit_delta.len(), sys.num_units());
         }
         // determinism: same round twice gives identical results
@@ -602,7 +650,10 @@ pub(crate) mod tests {
         let expect: Vec<f32> = {
             let a = returns[0].params.flatten();
             let b = returns[1].params.flatten();
-            a.iter().zip(&b).map(|(&x, &y)| ((f64::from(x) + f64::from(y)) / 2.0) as f32).collect()
+            a.iter()
+                .zip(&b)
+                .map(|(&x, &y)| ((f64::from(x) + f64::from(y)) / 2.0) as f32)
+                .collect()
         };
         sys.aggregate_masked(&returns, &masks);
         let got = sys.global.flatten();
@@ -636,7 +687,10 @@ pub(crate) mod tests {
         assert_eq!(rc.active_clients, 2);
         assert_eq!(rc.uplink_units, n + 1);
         assert_eq!(rc.downlink_units, 2 * n);
-        assert_eq!(rc.uplink_scalars, sys.global.num_scalars() + sys.unit_sizes()[3]);
+        assert_eq!(
+            rc.uplink_scalars,
+            sys.global.num_scalars() + sys.unit_sizes()[3]
+        );
     }
 
     #[test]
@@ -652,12 +706,17 @@ pub(crate) mod tests {
     #[test]
     fn privacy_clipping_bounds_the_update_norm() {
         let mut sys = tiny_system(2, 9);
-        sys.cfg.privacy =
-            Some(PrivacyConfig { clip_norm: 0.05, noise_multiplier: 0.0 });
+        sys.cfg.privacy = Some(PrivacyConfig {
+            clip_norm: 0.05,
+            noise_multiplier: 0.0,
+        });
         let returns = sys.run_local_round(&[0, 1], 0);
         for r in &returns {
             let norm: f32 = r.unit_delta.iter().map(|&d| d * d).sum::<f32>().sqrt();
-            assert!(norm <= 0.05 + 1e-4, "update norm {norm} exceeds the clip bound");
+            assert!(
+                norm <= 0.05 + 1e-4,
+                "update norm {norm} exceeds the clip bound"
+            );
         }
     }
 
@@ -665,8 +724,10 @@ pub(crate) mod tests {
     fn privacy_noise_perturbs_returns() {
         let mut sys = tiny_system(2, 10);
         let clean = sys.run_local_round(&[0], 0);
-        sys.cfg.privacy =
-            Some(PrivacyConfig { clip_norm: 1.0, noise_multiplier: 0.1 });
+        sys.cfg.privacy = Some(PrivacyConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 0.1,
+        });
         let noisy = sys.run_local_round(&[0], 0);
         assert_ne!(clean[0].params.flatten(), noisy[0].params.flatten());
         assert!(!noisy[0].params.has_non_finite());
@@ -683,13 +744,15 @@ pub(crate) mod tests {
         let uniform_expect: Vec<f32> = {
             let a = returns[0].params.flatten();
             let b = returns[1].params.flatten();
-            a.iter().zip(&b).map(|(&x, &y)| ((f64::from(x) + f64::from(y)) / 2.0) as f32).collect()
+            a.iter()
+                .zip(&b)
+                .map(|(&x, &y)| ((f64::from(x) + f64::from(y)) / 2.0) as f32)
+                .collect()
         };
         sys.cfg.weighting = AggWeighting::BySampleCount;
         sys.aggregate_masked(&returns, &masks);
         let weighted = sys.global.flatten();
-        let sizes: Vec<usize> =
-            sys.clients.iter().map(|c| c.positives.len()).collect();
+        let sizes: Vec<usize> = sys.clients.iter().map(|c| c.positives.len()).collect();
         if sizes[0] != sizes[1] {
             assert_ne!(weighted, uniform_expect, "weighting had no effect");
         }

@@ -9,11 +9,15 @@ use fedda_fl::{CommLog, RoundComm};
 use proptest::prelude::*;
 
 fn inputs_strategy() -> impl Strategy<Value = EfficiencyInputs> {
-    (2usize..64, 10usize..200, 0.05f64..0.99, 0.0f64..0.99).prop_flat_map(
-        |(m, n, r_c, r_p)| {
-            (1usize..=n / 2).prop_map(move |n_d| EfficiencyInputs { m, n, n_d, r_c, r_p })
-        },
-    )
+    (2usize..64, 10usize..200, 0.05f64..0.99, 0.0f64..0.99).prop_flat_map(|(m, n, r_c, r_p)| {
+        (1usize..=n / 2).prop_map(move |n_d| EfficiencyInputs {
+            m,
+            n,
+            n_d,
+            r_c,
+            r_p,
+        })
+    })
 }
 
 proptest! {

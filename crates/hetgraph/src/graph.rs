@@ -29,8 +29,16 @@ impl NodeStore {
     ///
     /// `features[t]` must have length `counts[t] * schema.node_type(t).feat_dim`.
     pub fn new(schema: Schema, counts: &[usize], features: Vec<Vec<f32>>) -> Self {
-        assert_eq!(counts.len(), schema.num_node_types(), "counts per node type");
-        assert_eq!(features.len(), schema.num_node_types(), "features per node type");
+        assert_eq!(
+            counts.len(),
+            schema.num_node_types(),
+            "counts per node type"
+        );
+        assert_eq!(
+            features.len(),
+            schema.num_node_types(),
+            "features per node type"
+        );
         for (t, (&c, f)) in counts.iter().zip(&features).enumerate() {
             let d = schema.node_type(NodeTypeId(t as u16)).feat_dim;
             assert_eq!(f.len(), c * d, "feature length for node type {t}");
@@ -47,7 +55,13 @@ impl NodeStore {
                 nodes_of_type[t].push(gid);
             }
         }
-        Self { schema, node_type, local_index, features, nodes_of_type }
+        Self {
+            schema,
+            node_type,
+            local_index,
+            features,
+            nodes_of_type,
+        }
     }
 
     /// The schema this store instantiates.
@@ -144,7 +158,10 @@ impl HeteroGraph {
     /// An edgeless graph over a node universe.
     pub fn new(nodes: Arc<NodeStore>) -> Self {
         let n = nodes.schema().num_edge_types();
-        Self { nodes, edges: vec![EdgeList::new(); n] }
+        Self {
+            nodes,
+            edges: vec![EdgeList::new(); n],
+        }
     }
 
     /// Build from explicit per-type edge lists.
@@ -154,14 +171,26 @@ impl HeteroGraph {
     /// is out of range, or an endpoint's node type violates the edge type's
     /// signature.
     pub fn from_edges(nodes: Arc<NodeStore>, edges: Vec<EdgeList>) -> Self {
-        assert_eq!(edges.len(), nodes.schema().num_edge_types(), "edge list per edge type");
+        assert_eq!(
+            edges.len(),
+            nodes.schema().num_edge_types(),
+            "edge list per edge type"
+        );
         let n = nodes.num_nodes() as NodeId;
         for (t, list) in edges.iter().enumerate() {
             let et = nodes.schema().edge_type(EdgeTypeId(t as u16));
             for (s, d) in list.iter() {
                 assert!(s < n && d < n, "edge endpoint out of range");
-                assert_eq!(nodes.type_of(s), et.src_type, "src type mismatch for edge type {t}");
-                assert_eq!(nodes.type_of(d), et.dst_type, "dst type mismatch for edge type {t}");
+                assert_eq!(
+                    nodes.type_of(s),
+                    et.src_type,
+                    "src type mismatch for edge type {t}"
+                );
+                assert_eq!(
+                    nodes.type_of(d),
+                    et.dst_type,
+                    "dst type mismatch for edge type {t}"
+                );
             }
         }
         Self { nodes, edges }
@@ -209,7 +238,10 @@ impl HeteroGraph {
         if total == 0 {
             return vec![0.0; self.edges.len()];
         }
-        self.edges.iter().map(|e| e.len() as f64 / total as f64).collect()
+        self.edges
+            .iter()
+            .map(|e| e.len() as f64 / total as f64)
+            .collect()
     }
 
     /// Graph density `|E| / (|V| * (|V| - 1))` (directed convention).
@@ -258,7 +290,12 @@ impl HeteroGraph {
                 etype.push(self_loop_type);
             }
         }
-        MessageEdges { src, dst, etype, num_message_types: self_loop_type as usize + usize::from(add_self_loops) }
+        MessageEdges {
+            src,
+            dst,
+            etype,
+            num_message_types: self_loop_type as usize + usize::from(add_self_loops),
+        }
     }
 
     /// In-degree of each node under the message-passing view (used by tests

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// Serializable node-type description.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeTypeDoc {
     /// Type name.
     pub name: String,
@@ -26,7 +26,7 @@ pub struct NodeTypeDoc {
 }
 
 /// Serializable edge-type description with its edges.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EdgeTypeDoc {
     /// Type name.
     pub name: String,
@@ -43,7 +43,7 @@ pub struct EdgeTypeDoc {
 }
 
 /// A self-contained heterograph snapshot.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphDoc {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -51,6 +51,86 @@ pub struct GraphDoc {
     pub node_types: Vec<NodeTypeDoc>,
     /// Edge types (with edges) in schema order.
     pub edge_types: Vec<EdgeTypeDoc>,
+}
+
+/// Pull a required field out of a JSON object.
+fn req<'a>(
+    v: &'a serde_json::Value,
+    name: &str,
+) -> Result<&'a serde_json::Value, serde_json::Error> {
+    v.get(name)
+        .ok_or_else(|| serde_json::Error::custom(format!("missing field `{name}`")))
+}
+
+// The workspace's `serde` shim has no derive macros, so the document types
+// implement the (single-method) trait pair by hand.
+
+impl Serialize for NodeTypeDoc {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("name".to_string(), self.name.to_json_value()),
+            ("feat_dim".to_string(), self.feat_dim.to_json_value()),
+            ("count".to_string(), self.count.to_json_value()),
+            ("features".to_string(), self.features.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for NodeTypeDoc {
+    fn from_json_value(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(Self {
+            name: Deserialize::from_json_value(req(v, "name")?)?,
+            feat_dim: Deserialize::from_json_value(req(v, "feat_dim")?)?,
+            count: Deserialize::from_json_value(req(v, "count")?)?,
+            features: Deserialize::from_json_value(req(v, "features")?)?,
+        })
+    }
+}
+
+impl Serialize for EdgeTypeDoc {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("name".to_string(), self.name.to_json_value()),
+            ("src_type".to_string(), self.src_type.to_json_value()),
+            ("dst_type".to_string(), self.dst_type.to_json_value()),
+            ("symmetric".to_string(), self.symmetric.to_json_value()),
+            ("src".to_string(), self.src.to_json_value()),
+            ("dst".to_string(), self.dst.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for EdgeTypeDoc {
+    fn from_json_value(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(Self {
+            name: Deserialize::from_json_value(req(v, "name")?)?,
+            src_type: Deserialize::from_json_value(req(v, "src_type")?)?,
+            dst_type: Deserialize::from_json_value(req(v, "dst_type")?)?,
+            symmetric: Deserialize::from_json_value(req(v, "symmetric")?)?,
+            src: Deserialize::from_json_value(req(v, "src")?)?,
+            dst: Deserialize::from_json_value(req(v, "dst")?)?,
+        })
+    }
+}
+
+impl Serialize for GraphDoc {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("version".to_string(), self.version.to_json_value()),
+            ("node_types".to_string(), self.node_types.to_json_value()),
+            ("edge_types".to_string(), self.edge_types.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for GraphDoc {
+    fn from_json_value(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(Self {
+            version: Deserialize::from_json_value(req(v, "version")?)?,
+            node_types: Deserialize::from_json_value(req(v, "node_types")?)?,
+            edge_types: Deserialize::from_json_value(req(v, "edge_types")?)?,
+        })
+    }
 }
 
 /// Errors from loading a [`GraphDoc`].
@@ -122,7 +202,11 @@ impl GraphDoc {
                 }
             })
             .collect();
-        Self { version: Self::VERSION, node_types, edge_types }
+        Self {
+            version: Self::VERSION,
+            node_types,
+            edge_types,
+        }
     }
 
     /// Rebuild the heterograph. Validation (endpoint ranges, type
@@ -175,7 +259,10 @@ impl GraphDoc {
                 NodeTypeId(et.dst_type as u16),
                 et.symmetric,
             );
-            lists.push(EdgeList { src: et.src.clone(), dst: et.dst.clone() });
+            lists.push(EdgeList {
+                src: et.src.clone(),
+                dst: et.dst.clone(),
+            });
         }
         let store = Arc::new(NodeStore::new(schema, &counts, features));
         // Range/type validation:

@@ -25,7 +25,10 @@ impl std::fmt::Display for MetapathError {
         match self {
             MetapathError::Empty => write!(f, "metapath must have at least one step"),
             MetapathError::TypeMismatch { step } => {
-                write!(f, "metapath step {step}: destination type does not match the next source type")
+                write!(
+                    f,
+                    "metapath step {step}: destination type does not match the next source type"
+                )
             }
         }
     }
@@ -123,8 +126,7 @@ mod tests {
         let paper = s.add_node_type("paper", 1);
         s.add_edge_type("writes", author, paper, false);
         s.add_edge_type("cites", paper, paper, false);
-        let store =
-            Arc::new(NodeStore::new(s, &[3, 3], vec![vec![0.0; 3], vec![0.0; 3]]));
+        let store = Arc::new(NodeStore::new(s, &[3, 3], vec![vec![0.0; 3], vec![0.0; 3]]));
         let mut writes = EdgeList::new();
         writes.push(0, 3);
         writes.push(1, 3);
@@ -139,8 +141,7 @@ mod tests {
     fn author_paper_author_needs_reverse_step() {
         // writes ∘ writes is invalid: paper dst != author src.
         let g = bibliographic();
-        let err =
-            compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(0)], false).unwrap_err();
+        let err = compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(0)], false).unwrap_err();
         assert_eq!(err, MetapathError::TypeMismatch { step: 0 });
     }
 
@@ -148,8 +149,7 @@ mod tests {
     fn writes_cites_finds_two_hop_papers() {
         let g = bibliographic();
         // author →writes paper →cites paper: authors 0 and 1 reach paper 5
-        let derived =
-            compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(1)], false).unwrap();
+        let derived = compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(1)], false).unwrap();
         let pairs: Vec<(u32, u32)> = derived.iter().collect();
         assert_eq!(pairs, vec![(0, 5), (1, 5)]);
     }
@@ -167,21 +167,22 @@ mod tests {
         let g = HeteroGraph::from_edges(store, vec![co]);
         // coauthor ∘ coauthor: 0 reaches 2 (via 1), 0 reaches 0 (dropped),
         // each node reaches itself (dropped without keep_self).
-        let two_hop =
-            compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(0)], false).unwrap();
+        let two_hop = compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(0)], false).unwrap();
         let pairs: Vec<(u32, u32)> = two_hop.iter().collect();
         assert!(pairs.contains(&(0, 2)));
         assert!(pairs.contains(&(2, 0)));
         assert!(pairs.iter().all(|&(s, d)| s != d));
-        let with_self =
-            compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(0)], true).unwrap();
+        let with_self = compose_metapath(&g, &[EdgeTypeId(0), EdgeTypeId(0)], true).unwrap();
         assert!(with_self.iter().any(|(s, d)| s == d));
     }
 
     #[test]
     fn empty_metapath_rejected() {
         let g = bibliographic();
-        assert_eq!(compose_metapath(&g, &[], false).unwrap_err(), MetapathError::Empty);
+        assert_eq!(
+            compose_metapath(&g, &[], false).unwrap_err(),
+            MetapathError::Empty
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl<'g> LinkSampler<'g> {
     ) -> NodeId {
         let dst_type = self.graph.schema().edge_type(etype).dst_type;
         let candidates = self.graph.nodes().nodes_of_type(dst_type);
-        debug_assert!(!candidates.is_empty(), "no candidate destinations for negatives");
+        debug_assert!(
+            !candidates.is_empty(),
+            "no candidate destinations for negatives"
+        );
         for _ in 0..32 {
             let d = candidates[rng.gen_range(0..candidates.len())];
             if !self.existing.contains(&(etype.0, src, d)) {
@@ -76,7 +79,12 @@ impl<'g> LinkSampler<'g> {
         let mut out = Vec::with_capacity(self.graph.num_edges());
         for t in self.graph.schema().edge_type_ids() {
             for (s, d) in self.graph.edges_of_type(t).iter() {
-                out.push(LinkExample { src: s, dst: d, etype: t, label: true });
+                out.push(LinkExample {
+                    src: s,
+                    dst: d,
+                    etype: t,
+                    label: true,
+                });
             }
         }
         out
@@ -88,7 +96,12 @@ impl<'g> LinkSampler<'g> {
         let mut out = Vec::new();
         for &t in types {
             for (s, d) in self.graph.edges_of_type(t).iter() {
-                out.push(LinkExample { src: s, dst: d, etype: t, label: true });
+                out.push(LinkExample {
+                    src: s,
+                    dst: d,
+                    etype: t,
+                    label: true,
+                });
             }
         }
         out
@@ -106,7 +119,12 @@ impl<'g> LinkSampler<'g> {
             out.push(p);
             for _ in 0..negatives_per_positive {
                 let neg = self.corrupt_dst(p.etype, p.src, rng);
-                out.push(LinkExample { src: p.src, dst: neg, etype: p.etype, label: false });
+                out.push(LinkExample {
+                    src: p.src,
+                    dst: neg,
+                    etype: p.etype,
+                    label: false,
+                });
             }
         }
         out
@@ -114,7 +132,7 @@ impl<'g> LinkSampler<'g> {
 
     /// Shuffle examples and yield mini-batches of at most `batch_size`.
     pub fn batches<R: Rng + ?Sized>(
-        examples: &mut Vec<LinkExample>,
+        examples: &mut [LinkExample],
         batch_size: usize,
         rng: &mut R,
     ) -> Vec<Vec<LinkExample>> {

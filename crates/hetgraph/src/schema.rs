@@ -71,7 +71,10 @@ impl Schema {
     /// Register a node type; returns its id.
     pub fn add_node_type(&mut self, name: impl Into<String>, feat_dim: usize) -> NodeTypeId {
         let id = NodeTypeId(u16::try_from(self.node_types.len()).expect("too many node types"));
-        self.node_types.push(NodeTypeMeta { name: name.into(), feat_dim });
+        self.node_types.push(NodeTypeMeta {
+            name: name.into(),
+            feat_dim,
+        });
         id
     }
 
@@ -86,10 +89,21 @@ impl Schema {
         dst_type: NodeTypeId,
         symmetric: bool,
     ) -> EdgeTypeId {
-        assert!(src_type.index() < self.node_types.len(), "unknown src node type");
-        assert!(dst_type.index() < self.node_types.len(), "unknown dst node type");
+        assert!(
+            src_type.index() < self.node_types.len(),
+            "unknown src node type"
+        );
+        assert!(
+            dst_type.index() < self.node_types.len(),
+            "unknown dst node type"
+        );
         let id = EdgeTypeId(u16::try_from(self.edge_types.len()).expect("too many edge types"));
-        self.edge_types.push(EdgeTypeMeta { name: name.into(), src_type, dst_type, symmetric });
+        self.edge_types.push(EdgeTypeMeta {
+            name: name.into(),
+            src_type,
+            dst_type,
+            symmetric,
+        });
         id
     }
 
@@ -125,12 +139,18 @@ impl Schema {
 
     /// Find a node type by name.
     pub fn node_type_by_name(&self, name: &str) -> Option<NodeTypeId> {
-        self.node_types.iter().position(|m| m.name == name).map(|i| NodeTypeId(i as u16))
+        self.node_types
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| NodeTypeId(i as u16))
     }
 
     /// Find an edge type by name.
     pub fn edge_type_by_name(&self, name: &str) -> Option<EdgeTypeId> {
-        self.edge_types.iter().position(|m| m.name == name).map(|i| EdgeTypeId(i as u16))
+        self.edge_types
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| EdgeTypeId(i as u16))
     }
 }
 

@@ -66,7 +66,10 @@ pub fn sample_edge_fraction<R: Rng + ?Sized>(
     fraction: f64,
     rng: &mut R,
 ) -> EdgeList {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1], got {fraction}");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
     let n = ((list.len() as f64) * fraction).round() as usize;
     let mut order: Vec<usize> = (0..list.len()).collect();
     order.shuffle(rng);
@@ -80,7 +83,10 @@ pub fn sample_edge_fraction<R: Rng + ?Sized>(
 /// Union of two heterographs over the same node universe (edge multisets
 /// are concatenated; used to build IID client splits with overlap).
 pub fn union(a: &HeteroGraph, b: &HeteroGraph) -> HeteroGraph {
-    assert!(std::sync::Arc::ptr_eq(a.nodes(), b.nodes()), "union: different node stores");
+    assert!(
+        std::sync::Arc::ptr_eq(a.nodes(), b.nodes()),
+        "union: different node stores"
+    );
     let mut out = a.clone();
     for t in a.schema().edge_type_ids().collect::<Vec<_>>() {
         let extra = b.edges_of_type(t).clone();
@@ -93,7 +99,10 @@ pub fn union(a: &HeteroGraph, b: &HeteroGraph) -> HeteroGraph {
 
 /// Per-type edge membership check (`O(|E_t|)`; test helper).
 pub fn contains_edge(graph: &HeteroGraph, t: EdgeTypeId, src: u32, dst: u32) -> bool {
-    graph.edges_of_type(t).iter().any(|(s, d)| s == src && d == dst)
+    graph
+        .edges_of_type(t)
+        .iter()
+        .any(|(s, d)| s == src && d == dst)
 }
 
 #[cfg(test)]

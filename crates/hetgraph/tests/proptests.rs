@@ -14,12 +14,18 @@ fn random_graph(na: usize, nb: usize, n_ab: usize, n_aa: usize, seed: u64) -> He
     let b = s.add_node_type("b", 2);
     s.add_edge_type("ab", a, b, false);
     s.add_edge_type("aa", a, a, true);
-    let store =
-        Arc::new(NodeStore::new(s, &[na, nb], vec![vec![0.0; na * 2], vec![0.0; nb * 2]]));
+    let store = Arc::new(NodeStore::new(
+        s,
+        &[na, nb],
+        vec![vec![0.0; na * 2], vec![0.0; nb * 2]],
+    ));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ab = EdgeList::new();
     for _ in 0..n_ab {
-        ab.push(rng.gen_range(0..na) as u32, (na + rng.gen_range(0..nb)) as u32);
+        ab.push(
+            rng.gen_range(0..na) as u32,
+            (na + rng.gen_range(0..nb)) as u32,
+        );
     }
     let mut aa = EdgeList::new();
     for _ in 0..n_aa {

@@ -36,9 +36,17 @@ impl<M: LinkPredictor> NodeClassifier<M> {
         rng: &mut R,
     ) -> Self {
         assert!(num_classes >= 2, "need at least two classes");
-        let head_w = params.add("clf.head.W", init::xavier_uniform(rng, embed_dim, num_classes));
+        let head_w = params.add(
+            "clf.head.W",
+            init::xavier_uniform(rng, embed_dim, num_classes),
+        );
         let head_b = params.add("clf.head.b", Matrix::zeros(1, num_classes));
-        Self { encoder, head_w, head_b, num_classes }
+        Self {
+            encoder,
+            head_w,
+            head_b,
+            num_classes,
+        }
     }
 
     /// The wrapped encoder.
@@ -60,7 +68,9 @@ impl<M: LinkPredictor> NodeClassifier<M> {
         view: &GraphView,
         nodes: &Arc<Vec<u32>>,
     ) -> Var {
-        let emb = self.encoder.encode_nodes(graph, bindings, params, view, None);
+        let emb = self
+            .encoder
+            .encode_nodes(graph, bindings, params, view, None);
         let selected = graph.gather_rows(emb, nodes.clone());
         let w = bindings.leaf(graph, params, self.head_w);
         let b = bindings.leaf(graph, params, self.head_b);
@@ -128,7 +138,10 @@ impl<M: LinkPredictor> NodeClassifier<M> {
         labels: &[u32],
     ) -> (f64, f64) {
         let pred = self.predict(params, view, nodes);
-        (accuracy(&pred, labels), macro_f1(&pred, labels, self.num_classes))
+        (
+            accuracy(&pred, labels),
+            macro_f1(&pred, labels, self.num_classes),
+        )
     }
 }
 
@@ -142,10 +155,18 @@ mod tests {
 
     #[test]
     fn classifier_learns_planted_communities() {
-        let generated =
-            dblp_like(&PresetOptions { scale: 0.002, seed: 8, ..Default::default() });
+        let generated = dblp_like(&PresetOptions {
+            scale: 0.002,
+            seed: 8,
+            ..Default::default()
+        });
         let g = &generated.graph;
-        let cfg = HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, ..Default::default() };
+        let cfg = HgnConfig {
+            hidden_dim: 8,
+            num_layers: 2,
+            num_heads: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let (encoder, mut params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let clf = NodeClassifier::new(
@@ -160,19 +181,22 @@ mod tests {
         // Classify authors (node type 0) into their planted communities;
         // 70/30 train/test split on node index parity-ish.
         let authors = g.nodes().nodes_of_type(fedda_hetgraph::NodeTypeId(0));
-        let labels: Vec<u32> =
-            authors.iter().map(|&v| generated.communities[v as usize]).collect();
+        let labels: Vec<u32> = authors
+            .iter()
+            .map(|&v| generated.communities[v as usize])
+            .collect();
         let cut = authors.len() * 7 / 10;
         let (train_nodes, test_nodes) = authors.split_at(cut);
         let (train_labels, test_labels) = labels.split_at(cut);
 
-        let baseline = fedda_metrics::majority_baseline(
-            test_labels,
-            generated.communities_per_type,
-        );
+        let baseline =
+            fedda_metrics::majority_baseline(test_labels, generated.communities_per_type);
         let loss0 = clf.train(&mut params, &view, train_nodes, train_labels, 1, 5e-3);
         let loss_end = clf.train(&mut params, &view, train_nodes, train_labels, 60, 5e-3);
-        assert!(loss_end < loss0, "loss must decrease ({loss_end} !< {loss0})");
+        assert!(
+            loss_end < loss0,
+            "loss must decrease ({loss_end} !< {loss0})"
+        );
         let (acc, f1) = clf.evaluate(&params, &view, test_nodes, test_labels);
         assert!(
             acc > baseline + 0.1,
@@ -183,10 +207,18 @@ mod tests {
 
     #[test]
     fn predict_returns_valid_classes() {
-        let generated =
-            dblp_like(&PresetOptions { scale: 0.0015, seed: 9, ..Default::default() });
+        let generated = dblp_like(&PresetOptions {
+            scale: 0.0015,
+            seed: 9,
+            ..Default::default()
+        });
         let g = &generated.graph;
-        let cfg = HgnConfig { hidden_dim: 4, num_layers: 1, num_heads: 1, ..Default::default() };
+        let cfg = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 1,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let (encoder, mut params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let clf = NodeClassifier::new(encoder, &mut params, cfg.out_dim(), 4, &mut rng);
@@ -201,8 +233,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two classes")]
     fn rejects_single_class() {
-        let generated =
-            dblp_like(&PresetOptions { scale: 0.0015, seed: 9, ..Default::default() });
+        let generated = dblp_like(&PresetOptions {
+            scale: 0.0015,
+            seed: 9,
+            ..Default::default()
+        });
         let cfg = HgnConfig::default();
         let mut rng = StdRng::seed_from_u64(0);
         let (encoder, mut params) =

@@ -74,13 +74,22 @@ impl Default for HgnConfig {
 impl HgnConfig {
     /// The paper's Simple-HGN configuration: 3 layers, 3 heads.
     pub fn paper_default() -> Self {
-        Self { hidden_dim: 16, num_layers: 3, num_heads: 3, ..Self::default() }
+        Self {
+            hidden_dim: 16,
+            num_layers: 3,
+            num_heads: 3,
+            ..Self::default()
+        }
     }
 
     /// Vanilla GAT ablation: no edge-type information in attention, dot
     /// decoder.
     pub fn gat(&self) -> Self {
-        Self { edge_type_attention: false, decoder: Decoder::DotProduct, ..self.clone() }
+        Self {
+            edge_type_attention: false,
+            decoder: Decoder::DotProduct,
+            ..self.clone()
+        }
     }
 
     /// Output embedding width (`heads * hidden` — heads are concatenated).
@@ -100,7 +109,10 @@ impl HgnConfig {
             return Err(format!("dropout must be in [0,1), got {}", self.dropout));
         }
         if !(0.0..1.0).contains(&self.attn_residual) {
-            return Err(format!("attn_residual must be in [0,1), got {}", self.attn_residual));
+            return Err(format!(
+                "attn_residual must be in [0,1), got {}",
+                self.attn_residual
+            ));
         }
         Ok(())
     }
@@ -132,14 +144,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = HgnConfig::default();
-        c.num_heads = 0;
+        let c = HgnConfig {
+            num_heads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HgnConfig::default();
-        c.dropout = 1.0;
+        let c = HgnConfig {
+            dropout: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = HgnConfig::default();
-        c.edge_emb_dim = 0;
+        let mut c = HgnConfig {
+            edge_emb_dim: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.edge_type_attention = false;
         assert!(c.validate().is_ok());

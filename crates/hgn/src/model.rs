@@ -82,9 +82,10 @@ impl SimpleHgn {
                 format!("enc.in_proj.{}", meta.name),
                 init::xavier_uniform(rng, meta.feat_dim, d_model),
             ));
-            in_bias.push(
-                ps.add(format!("enc.in_bias.{}", meta.name), Matrix::zeros(1, d_model)),
-            );
+            in_bias.push(ps.add(
+                format!("enc.in_bias.{}", meta.name),
+                Matrix::zeros(1, d_model),
+            ));
         }
 
         let mut layers = Vec::with_capacity(config.num_layers);
@@ -117,10 +118,19 @@ impl SimpleHgn {
                 } else {
                     (None, None)
                 };
-                heads.push(HeadParams { w, a_src, a_dst, a_edge, w_r });
+                heads.push(HeadParams {
+                    w,
+                    a_src,
+                    a_dst,
+                    a_edge,
+                    w_r,
+                });
             }
             let w_res = config.residual.then(|| {
-                ps.add(format!("l{l}.W_res"), init::xavier_uniform(rng, d_model, d_model))
+                ps.add(
+                    format!("l{l}.W_res"),
+                    init::xavier_uniform(rng, d_model, d_model),
+                )
             });
             let mut edge_emb = Vec::new();
             if config.edge_type_attention {
@@ -137,7 +147,11 @@ impl SimpleHgn {
                     ));
                 }
             }
-            layers.push(LayerParams { heads, w_res, edge_emb });
+            layers.push(LayerParams {
+                heads,
+                w_res,
+                edge_emb,
+            });
         }
 
         let mut dec_rel = Vec::new();
@@ -349,8 +363,7 @@ impl SimpleHgn {
     ) -> Vec<f32> {
         let mut graph = Graph::new();
         let mut bindings = TapeBindings::new();
-        let emb =
-            self.encode::<rand::rngs::StdRng>(&mut graph, &mut bindings, params, view, None);
+        let emb = self.encode::<rand::rngs::StdRng>(&mut graph, &mut bindings, params, view, None);
         let logits = self.score_links(&mut graph, &mut bindings, params, emb, examples);
         graph.value(logits).as_slice().to_vec()
     }
@@ -383,7 +396,13 @@ fn apply_dropout<R: Rng + ?Sized>(graph: &mut Graph, x: Var, p: f32, rng: &mut R
     let (r, c) = graph.shape(x);
     let keep = 1.0 - p;
     let mask: Vec<f32> = (0..r * c)
-        .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+        .map(|_| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        })
         .collect();
     graph.dropout_with_mask(x, Arc::new(mask))
 }
@@ -397,9 +416,19 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_setup() -> (SimpleHgn, ParamSet, GraphView, fedda_hetgraph::HeteroGraph) {
-        let opts = PresetOptions { scale: 0.0015, seed: 5, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.0015,
+            seed: 5,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
-        let cfg = HgnConfig { hidden_dim: 4, num_layers: 2, num_heads: 2, edge_emb_dim: 4, ..Default::default() };
+        let cfg = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 2,
+            num_heads: 2,
+            edge_emb_dim: 4,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let (model, params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let view = GraphView::new(&g, cfg.add_self_loops);
@@ -434,8 +463,10 @@ mod tests {
         let emb = model.encode::<StdRng>(&mut graph, &mut tb, &params, &view, None);
         let logits = model.score_links(&mut graph, &mut tb, &params, emb, &examples);
         assert_eq!(graph.shape(logits), (examples.len(), 1));
-        let targets: Vec<f32> =
-            examples.iter().map(|e| if e.label { 1.0 } else { 0.0 }).collect();
+        let targets: Vec<f32> = examples
+            .iter()
+            .map(|e| if e.label { 1.0 } else { 0.0 })
+            .collect();
         let loss = graph.bce_with_logits(logits, Arc::new(targets));
         graph.backward(loss);
         params.zero_grads();
@@ -448,9 +479,16 @@ mod tests {
 
     #[test]
     fn distmult_decoder_registers_disentangled_relations() {
-        let opts = PresetOptions { scale: 0.0015, seed: 5, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.0015,
+            seed: 5,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
-        let cfg = HgnConfig { decoder: Decoder::DistMult, ..Default::default() };
+        let cfg = HgnConfig {
+            decoder: Decoder::DistMult,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let (model, params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let dis = model.disentangled_edge_types(&params);
@@ -461,7 +499,11 @@ mod tests {
 
     #[test]
     fn gat_ablation_has_fewer_params() {
-        let opts = PresetOptions { scale: 0.0015, seed: 5, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.0015,
+            seed: 5,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
         let mut rng = StdRng::seed_from_u64(0);
         let full = HgnConfig::default();
@@ -473,7 +515,11 @@ mod tests {
 
     #[test]
     fn same_seed_same_init() {
-        let opts = PresetOptions { scale: 0.0015, seed: 5, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.0015,
+            seed: 5,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
         let cfg = HgnConfig::default();
         let (_a, pa) = SimpleHgn::init_params(g.schema(), &cfg, &mut StdRng::seed_from_u64(9));
@@ -483,9 +529,18 @@ mod tests {
 
     #[test]
     fn attention_residual_changes_deep_layers_only() {
-        let opts = PresetOptions { scale: 0.0015, seed: 5, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.0015,
+            seed: 5,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
-        let base = HgnConfig { hidden_dim: 4, num_layers: 2, num_heads: 2, ..Default::default() };
+        let base = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 2,
+            num_heads: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let (model, params) = SimpleHgn::init_params(g.schema(), &base, &mut rng);
         let view = GraphView::new(&g, base.add_self_loops);
@@ -495,14 +550,20 @@ mod tests {
         let plain_vals = graph.value(plain).as_slice().to_vec();
 
         let with_res = SimpleHgn {
-            config: HgnConfig { attn_residual: 0.5, ..base.clone() },
+            config: HgnConfig {
+                attn_residual: 0.5,
+                ..base.clone()
+            },
             ..model
         };
         let mut graph2 = Graph::new();
         let mut tb2 = TapeBindings::new();
         let blended = with_res.encode::<StdRng>(&mut graph2, &mut tb2, &params, &view, None);
         let blended_vals = graph2.value(blended).as_slice().to_vec();
-        assert_ne!(plain_vals, blended_vals, "residual attention must change layer ≥ 2 outputs");
+        assert_ne!(
+            plain_vals, blended_vals,
+            "residual attention must change layer ≥ 2 outputs"
+        );
         assert!(!graph2.value(blended).has_non_finite());
 
         // Attention weights remain a convex combination: still normalised
@@ -515,9 +576,18 @@ mod tests {
 
     #[test]
     fn single_layer_attention_residual_is_identity() {
-        let opts = PresetOptions { scale: 0.0015, seed: 5, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.0015,
+            seed: 5,
+            ..Default::default()
+        };
         let g = dblp_like(&opts).graph;
-        let base = HgnConfig { hidden_dim: 4, num_layers: 1, num_heads: 1, ..Default::default() };
+        let base = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 1,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let (model, params) = SimpleHgn::init_params(g.schema(), &base, &mut rng);
         let view = GraphView::new(&g, base.add_self_loops);
@@ -525,7 +595,10 @@ mod tests {
         let mut t1 = TapeBindings::new();
         let plain = model.encode::<StdRng>(&mut g1, &mut t1, &params, &view, None);
         let with_res = SimpleHgn {
-            config: HgnConfig { attn_residual: 0.5, ..base },
+            config: HgnConfig {
+                attn_residual: 0.5,
+                ..base
+            },
             ..model
         };
         let mut g2 = Graph::new();
@@ -546,13 +619,14 @@ mod tests {
         let mut tb = TapeBindings::new();
         let mut rng = StdRng::seed_from_u64(2);
         // training mode: dropout_rng = Some
-        let model_do = SimpleHgn { config: cfg, ..model };
-        let emb_train =
-            model_do.encode(&mut graph, &mut tb, &params, &view, Some(&mut rng));
+        let model_do = SimpleHgn {
+            config: cfg,
+            ..model
+        };
+        let emb_train = model_do.encode(&mut graph, &mut tb, &params, &view, Some(&mut rng));
         let mut graph2 = Graph::new();
         let mut tb2 = TapeBindings::new();
-        let emb_eval =
-            model_do.encode::<StdRng>(&mut graph2, &mut tb2, &params, &view, None);
+        let emb_eval = model_do.encode::<StdRng>(&mut graph2, &mut tb2, &params, &view, None);
         // different values under dropout
         assert_ne!(
             graph.value(emb_train).as_slice(),

@@ -118,8 +118,18 @@ mod tests {
 
     #[test]
     fn trait_logits_match_inherent_infer_logits() {
-        let g = amazon_like(&PresetOptions { scale: 0.002, seed: 1, ..Default::default() }).graph;
-        let cfg = HgnConfig { hidden_dim: 4, num_layers: 1, num_heads: 1, ..Default::default() };
+        let g = amazon_like(&PresetOptions {
+            scale: 0.002,
+            seed: 1,
+            ..Default::default()
+        })
+        .graph;
+        let cfg = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 1,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let (model, params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let view = GraphView::new(&g, cfg.add_self_loops);

@@ -74,7 +74,10 @@ impl Rgcn {
         config: &RgcnConfig,
         rng: &mut R,
     ) -> (Self, ParamSet) {
-        assert!(config.hidden_dim > 0 && config.num_layers > 0, "invalid RgcnConfig");
+        assert!(
+            config.hidden_dim > 0 && config.num_layers > 0,
+            "invalid RgcnConfig"
+        );
         let mut ps = ParamSet::new();
         let d = config.hidden_dim;
         let num_edge_types = schema.num_edge_types();
@@ -101,10 +104,13 @@ impl Rgcn {
                         )
                     })
                     .collect();
-                let w_self =
-                    ps.add(format!("rgcn.l{l}.W_self"), init::xavier_uniform(rng, d, d));
+                let w_self = ps.add(format!("rgcn.l{l}.W_self"), init::xavier_uniform(rng, d, d));
                 let bias = ps.add(format!("rgcn.l{l}.bias"), Matrix::zeros(1, d));
-                RgcnLayer { w_rel, w_self, bias }
+                RgcnLayer {
+                    w_rel,
+                    w_self,
+                    bias,
+                }
             })
             .collect();
 
@@ -122,7 +128,15 @@ impl Rgcn {
         let dec_bias = ps.add("rgcn.dec.bias", Matrix::zeros(1, 1));
 
         (
-            Self { config: config.clone(), in_proj, layers, dec_rel, dec_scale, dec_bias, num_edge_types },
+            Self {
+                config: config.clone(),
+                in_proj,
+                layers,
+                dec_rel,
+                dec_scale,
+                dec_bias,
+                num_edge_types,
+            },
             ps,
         )
     }
@@ -135,10 +149,8 @@ impl Rgcn {
     /// Split the view's flat message arrays into per-relation `(src, dst,
     /// inv_degree)` triples. Self-loop pseudo-edges (type ≥ real types) are
     /// ignored — R-GCN has an explicit self weight instead.
-    fn per_relation_edges(
-        &self,
-        view: &GraphView,
-    ) -> Vec<(Arc<Vec<u32>>, Arc<Vec<u32>>, Matrix)> {
+    #[allow(clippy::type_complexity)]
+    fn per_relation_edges(&self, view: &GraphView) -> Vec<(Arc<Vec<u32>>, Arc<Vec<u32>>, Matrix)> {
         let mut srcs: Vec<Vec<u32>> = vec![Vec::new(); self.num_edge_types];
         let mut dsts: Vec<Vec<u32>> = vec![Vec::new(); self.num_edge_types];
         for ((&s, &d), &t) in view.src.iter().zip(view.dst.iter()).zip(view.etype.iter()) {
@@ -181,11 +193,8 @@ impl LinkPredictor for Rgcn {
                 let x = graph.input(feats.clone());
                 let w = bindings.leaf(graph, params, self.in_proj[t]);
                 let xw = graph.matmul(x, w);
-                let scattered = graph.scatter_add_rows(
-                    xw,
-                    view.type_global_ids[t].clone(),
-                    view.num_nodes,
-                );
+                let scattered =
+                    graph.scatter_add_rows(xw, view.type_global_ids[t].clone(), view.num_nodes);
                 acc = Some(match acc {
                     Some(a) => graph.add(a, scattered),
                     None => scattered,
@@ -275,8 +284,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Rgcn, ParamSet, GraphView, fedda_hetgraph::HeteroGraph) {
-        let g = dblp_like(&PresetOptions { scale: 0.0015, seed: 2, ..Default::default() }).graph;
-        let cfg = RgcnConfig { hidden_dim: 8, num_layers: 2, ..Default::default() };
+        let g = dblp_like(&PresetOptions {
+            scale: 0.0015,
+            seed: 2,
+            ..Default::default()
+        })
+        .graph;
+        let cfg = RgcnConfig {
+            hidden_dim: 8,
+            num_layers: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let (model, params) = Rgcn::init_params(g.schema(), &cfg, &mut rng);
         let view = GraphView::new(&g, model.uses_self_loops());
@@ -318,8 +336,10 @@ mod tests {
         let mut tb = TapeBindings::new();
         let emb = model.encode_nodes(&mut graph, &mut tb, &params, &view, None);
         let logits = model.score_examples(&mut graph, &mut tb, &params, emb, &examples);
-        let targets: Vec<f32> =
-            examples.iter().map(|e| if e.label { 1.0 } else { 0.0 }).collect();
+        let targets: Vec<f32> = examples
+            .iter()
+            .map(|e| if e.label { 1.0 } else { 0.0 })
+            .collect();
         let loss = graph.bce_with_logits(logits, Arc::new(targets));
         graph.backward(loss);
         params.zero_grads();

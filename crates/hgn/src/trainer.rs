@@ -84,8 +84,7 @@ pub fn train_local<R: Rng>(
     let mut total_loss = 0.0f64;
     let mut steps = 0usize;
     for _epoch in 0..config.local_epochs {
-        let mut examples =
-            sampler.with_negatives(positives, config.negatives_per_positive, rng);
+        let mut examples = sampler.with_negatives(positives, config.negatives_per_positive, rng);
         let batches = LinkSampler::batches(&mut examples, config.batch_size.max(1), rng);
         for batch in &batches {
             let mut graph = Graph::with_capacity(256);
@@ -103,8 +102,10 @@ pub fn train_local<R: Rng>(
                 model.encode_nodes(&mut graph, &mut bindings, params, view, None)
             };
             let logits = model.score_examples(&mut graph, &mut bindings, params, emb, batch);
-            let targets: Vec<f32> =
-                batch.iter().map(|e| if e.label { 1.0 } else { 0.0 }).collect();
+            let targets: Vec<f32> = batch
+                .iter()
+                .map(|e| if e.label { 1.0 } else { 0.0 })
+                .collect();
             let loss = graph.bce_with_logits(logits, Arc::new(targets));
             total_loss += f64::from(graph.value(loss).get(0, 0));
             graph.backward(loss);
@@ -120,7 +121,10 @@ pub fn train_local<R: Rng>(
             steps += 1;
         }
     }
-    TrainStats { mean_loss: (total_loss / steps.max(1) as f64) as f32, steps }
+    TrainStats {
+        mean_loss: (total_loss / steps.max(1) as f64) as f32,
+        steps,
+    }
 }
 
 /// Link-prediction evaluation result.
@@ -148,7 +152,10 @@ pub fn evaluate<R: Rng + ?Sized>(
     negatives_per_positive: usize,
     rng: &mut R,
 ) -> EvalResult {
-    assert!(negatives_per_positive > 0, "need at least one negative per positive");
+    assert!(
+        negatives_per_positive > 0,
+        "need at least one negative per positive"
+    );
     if test_positives.is_empty() {
         return EvalResult::default();
     }
@@ -160,9 +167,16 @@ pub fn evaluate<R: Rng + ?Sized>(
     let group = 1 + negatives_per_positive;
     let queries: Vec<RankQuery> = logits
         .chunks(group)
-        .map(|chunk| RankQuery { positive: chunk[0], negatives: chunk[1..].to_vec() })
+        .map(|chunk| RankQuery {
+            positive: chunk[0],
+            negatives: chunk[1..].to_vec(),
+        })
         .collect();
-    EvalResult { roc_auc: auc, mrr: mrr(&queries), num_positives: test_positives.len() }
+    EvalResult {
+        roc_auc: auc,
+        mrr: mrr(&queries),
+        num_positives: test_positives.len(),
+    }
 }
 
 /// Extended evaluation: overall metrics plus a per-edge-type breakdown —
@@ -191,7 +205,10 @@ pub fn evaluate_detailed<R: Rng + ?Sized>(
     negatives_per_positive: usize,
     rng: &mut R,
 ) -> DetailedEvalResult {
-    assert!(negatives_per_positive > 0, "need at least one negative per positive");
+    assert!(
+        negatives_per_positive > 0,
+        "need at least one negative per positive"
+    );
     if test_positives.is_empty() {
         return DetailedEvalResult::default();
     }
@@ -202,7 +219,10 @@ pub fn evaluate_detailed<R: Rng + ?Sized>(
     let group = 1 + negatives_per_positive;
     let queries: Vec<RankQuery> = logits
         .chunks(group)
-        .map(|chunk| RankQuery { positive: chunk[0], negatives: chunk[1..].to_vec() })
+        .map(|chunk| RankQuery {
+            positive: chunk[0],
+            negatives: chunk[1..].to_vec(),
+        })
         .collect();
 
     // Per-edge-type AUC: slice the flat example/logit arrays by type.
@@ -217,12 +237,20 @@ pub fn evaluate_detailed<R: Rng + ?Sized>(
             }
         }
         let n_pos = labs.iter().filter(|&&l| l).count();
-        let value = if n_pos > 0 && n_pos < labs.len() { roc_auc(&scores, &labs) } else { 0.5 };
+        let value = if n_pos > 0 && n_pos < labs.len() {
+            roc_auc(&scores, &labs)
+        } else {
+            0.5
+        };
         by_type.push((schema.edge_type(t).name.clone(), value, n_pos));
     }
 
     DetailedEvalResult {
-        overall: EvalResult { roc_auc: auc, mrr: mrr(&queries), num_positives: test_positives.len() },
+        overall: EvalResult {
+            roc_auc: auc,
+            mrr: mrr(&queries),
+            num_positives: test_positives.len(),
+        },
         hits_at_1: fedda_metrics::hits_at_k(&queries, 1),
         hits_at_3: fedda_metrics::hits_at_k(&queries, 3),
         average_precision: fedda_metrics::average_precision(&logits, &labels),
@@ -242,11 +270,20 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_and_beats_chance() {
-        let opts = PresetOptions { scale: 0.004, seed: 3, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.004,
+            seed: 3,
+            ..Default::default()
+        };
         let g = amazon_like(&opts).graph;
         let mut rng = StdRng::seed_from_u64(0);
         let split = split_edges(&g, 0.2, &mut rng);
-        let cfg = HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, ..Default::default() };
+        let cfg = HgnConfig {
+            hidden_dim: 8,
+            num_layers: 2,
+            num_heads: 2,
+            ..Default::default()
+        };
         let (model, mut params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let view = GraphView::new(&split.train, cfg.add_self_loops);
         let train_sampler = LinkSampler::new(&split.train);
@@ -255,15 +292,37 @@ mod tests {
         let test_pos = test_sampler.all_positives();
 
         let before = evaluate(
-            &model, &params, &view, &train_sampler, &test_pos, 5, &mut rng,
+            &model,
+            &params,
+            &view,
+            &train_sampler,
+            &test_pos,
+            5,
+            &mut rng,
         );
-        let tc = TrainConfig { local_epochs: 30, lr: 5e-3, ..Default::default() };
+        let tc = TrainConfig {
+            local_epochs: 30,
+            lr: 5e-3,
+            ..Default::default()
+        };
         let stats = train_local(
-            &model, &mut params, &view, &train_sampler, &positives, &tc, &mut rng,
+            &model,
+            &mut params,
+            &view,
+            &train_sampler,
+            &positives,
+            &tc,
+            &mut rng,
         );
         assert!(stats.steps >= 30);
         let after = evaluate(
-            &model, &params, &view, &train_sampler, &test_pos, 5, &mut rng,
+            &model,
+            &params,
+            &view,
+            &train_sampler,
+            &test_pos,
+            5,
+            &mut rng,
         );
         assert!(
             after.roc_auc > 0.60,
@@ -277,7 +336,11 @@ mod tests {
 
     #[test]
     fn empty_positives_are_a_no_op() {
-        let opts = PresetOptions { scale: 0.002, seed: 3, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.002,
+            seed: 3,
+            ..Default::default()
+        };
         let g = amazon_like(&opts).graph;
         let mut rng = StdRng::seed_from_u64(0);
         let cfg = HgnConfig::default();
@@ -286,7 +349,13 @@ mod tests {
         let sampler = LinkSampler::new(&g);
         let before = params.flatten();
         let stats = train_local(
-            &model, &mut params, &view, &sampler, &[], &TrainConfig::default(), &mut rng,
+            &model,
+            &mut params,
+            &view,
+            &sampler,
+            &[],
+            &TrainConfig::default(),
+            &mut rng,
         );
         assert_eq!(stats.steps, 0);
         assert_eq!(params.flatten(), before);
@@ -296,47 +365,77 @@ mod tests {
 
     #[test]
     fn detailed_evaluation_breaks_down_by_edge_type() {
-        let opts = PresetOptions { scale: 0.004, seed: 3, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.004,
+            seed: 3,
+            ..Default::default()
+        };
         let g = amazon_like(&opts).graph;
         let mut rng = StdRng::seed_from_u64(0);
         let split = split_edges(&g, 0.2, &mut rng);
-        let cfg = HgnConfig { hidden_dim: 4, num_layers: 1, num_heads: 1, ..Default::default() };
+        let cfg = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 1,
+            ..Default::default()
+        };
         let (model, params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let view = GraphView::new(&split.train, cfg.add_self_loops);
         let sampler = LinkSampler::new(&split.train);
         let test_sampler = LinkSampler::new(&split.test);
         let test_pos = test_sampler.all_positives();
-        let detail = evaluate_detailed(
-            &model, &params, &view, &sampler, &test_pos, 4, &mut rng,
-        );
+        let detail = evaluate_detailed(&model, &params, &view, &sampler, &test_pos, 4, &mut rng);
         assert_eq!(detail.auc_by_edge_type.groups.len(), 2);
-        let support: usize =
-            detail.auc_by_edge_type.groups.iter().map(|(_, _, n)| n).sum();
+        let support: usize = detail
+            .auc_by_edge_type
+            .groups
+            .iter()
+            .map(|(_, _, n)| n)
+            .sum();
         assert_eq!(support, test_pos.len());
         assert!((0.0..=1.0).contains(&detail.hits_at_1));
         assert!(detail.hits_at_1 <= detail.hits_at_3 + 1e-12);
         assert!((0.0..=1.0).contains(&detail.average_precision));
         assert!(detail.overall.roc_auc.is_finite());
         // empty input is safe
-        let empty = evaluate_detailed(
-            &model, &params, &view, &sampler, &[], 4, &mut rng,
-        );
+        let empty = evaluate_detailed(&model, &params, &view, &sampler, &[], 4, &mut rng);
         assert_eq!(empty.overall.num_positives, 0);
     }
 
     #[test]
     fn sgd_optimizer_also_trains() {
-        let opts = PresetOptions { scale: 0.002, seed: 3, ..Default::default() };
+        let opts = PresetOptions {
+            scale: 0.002,
+            seed: 3,
+            ..Default::default()
+        };
         let g = amazon_like(&opts).graph;
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = HgnConfig { hidden_dim: 4, num_layers: 1, num_heads: 1, ..Default::default() };
+        let cfg = HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 1,
+            ..Default::default()
+        };
         let (model, mut params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
         let view = GraphView::new(&g, cfg.add_self_loops);
         let sampler = LinkSampler::new(&g);
         let positives = sampler.all_positives();
         let before = params.flatten();
-        let tc = TrainConfig { optimizer: Optimizer::Sgd, local_epochs: 2, ..Default::default() };
-        train_local(&model, &mut params, &view, &sampler, &positives, &tc, &mut rng);
+        let tc = TrainConfig {
+            optimizer: Optimizer::Sgd,
+            local_epochs: 2,
+            ..Default::default()
+        };
+        train_local(
+            &model,
+            &mut params,
+            &view,
+            &sampler,
+            &positives,
+            &tc,
+            &mut rng,
+        );
         assert_ne!(params.flatten(), before, "SGD must move the parameters");
         assert!(!params.has_non_finite());
     }

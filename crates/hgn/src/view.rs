@@ -92,7 +92,12 @@ mod tests {
 
     #[test]
     fn view_matches_graph() {
-        let g = amazon_like(&PresetOptions { scale: 0.01, seed: 2, ..Default::default() }).graph;
+        let g = amazon_like(&PresetOptions {
+            scale: 0.01,
+            seed: 2,
+            ..Default::default()
+        })
+        .graph;
         let view = GraphView::new(&g, true);
         assert_eq!(view.num_nodes, g.num_nodes());
         assert_eq!(view.num_node_types(), 1);
@@ -106,7 +111,12 @@ mod tests {
 
     #[test]
     fn self_loops_can_be_disabled() {
-        let g = amazon_like(&PresetOptions { scale: 0.01, seed: 2, ..Default::default() }).graph;
+        let g = amazon_like(&PresetOptions {
+            scale: 0.01,
+            seed: 2,
+            ..Default::default()
+        })
+        .graph;
         let with = GraphView::new(&g, true);
         let without = GraphView::new(&g, false);
         assert_eq!(with.num_messages(), without.num_messages() + g.num_nodes());

@@ -23,7 +23,10 @@ pub fn macro_f1(pred: &[u32], truth: &[u32], num_classes: usize) -> f64 {
     let mut fnc = vec![0usize; num_classes];
     for (&p, &t) in pred.iter().zip(truth) {
         let (p, t) = (p as usize, t as usize);
-        assert!(p < num_classes && t < num_classes, "class index out of range");
+        assert!(
+            p < num_classes && t < num_classes,
+            "class index out of range"
+        );
         if p == t {
             tp[p] += 1;
         } else {
@@ -38,8 +41,16 @@ pub fn macro_f1(pred: &[u32], truth: &[u32], num_classes: usize) -> f64 {
         if support == 0 {
             continue;
         }
-        let precision = if tp[c] + fp[c] > 0 { tp[c] as f64 / (tp[c] + fp[c]) as f64 } else { 0.0 };
-        let recall = if tp[c] + fnc[c] > 0 { tp[c] as f64 / (tp[c] + fnc[c]) as f64 } else { 0.0 };
+        let precision = if tp[c] + fp[c] > 0 {
+            tp[c] as f64 / (tp[c] + fp[c]) as f64
+        } else {
+            0.0
+        };
+        let recall = if tp[c] + fnc[c] > 0 {
+            tp[c] as f64 / (tp[c] + fnc[c]) as f64
+        } else {
+            0.0
+        };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {

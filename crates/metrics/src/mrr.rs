@@ -17,8 +17,16 @@ pub struct RankQuery {
 impl RankQuery {
     /// Reciprocal rank of the positive within this query.
     pub fn reciprocal_rank(&self) -> f64 {
-        let above = self.negatives.iter().filter(|&&n| n > self.positive).count() as f64;
-        let ties = self.negatives.iter().filter(|&&n| n == self.positive).count() as f64;
+        let above = self
+            .negatives
+            .iter()
+            .filter(|&&n| n > self.positive)
+            .count() as f64;
+        let ties = self
+            .negatives
+            .iter()
+            .filter(|&&n| n == self.positive)
+            .count() as f64;
         1.0 / (1.0 + above + ties / 2.0)
     }
 }
@@ -46,34 +54,52 @@ mod tests {
 
     #[test]
     fn top_ranked_positive_scores_one() {
-        let q = RankQuery { positive: 0.9, negatives: vec![0.1, 0.2, 0.3] };
+        let q = RankQuery {
+            positive: 0.9,
+            negatives: vec![0.1, 0.2, 0.3],
+        };
         assert!((q.reciprocal_rank() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn positive_below_k_negatives() {
-        let q = RankQuery { positive: 0.5, negatives: vec![0.9, 0.8, 0.1] };
+        let q = RankQuery {
+            positive: 0.5,
+            negatives: vec![0.9, 0.8, 0.1],
+        };
         assert!((q.reciprocal_rank() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn ties_use_midrank() {
-        let q = RankQuery { positive: 0.5, negatives: vec![0.5, 0.5] };
+        let q = RankQuery {
+            positive: 0.5,
+            negatives: vec![0.5, 0.5],
+        };
         // rank = 1 + 0 + 1 = 2
         assert!((q.reciprocal_rank() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn no_negatives_is_rank_one() {
-        let q = RankQuery { positive: 0.0, negatives: vec![] };
+        let q = RankQuery {
+            positive: 0.0,
+            negatives: vec![],
+        };
         assert!((q.reciprocal_rank() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn mrr_averages_queries() {
         let qs = vec![
-            RankQuery { positive: 1.0, negatives: vec![0.0] }, // rr 1
-            RankQuery { positive: 0.0, negatives: vec![1.0] }, // rr 1/2
+            RankQuery {
+                positive: 1.0,
+                negatives: vec![0.0],
+            }, // rr 1
+            RankQuery {
+                positive: 0.0,
+                negatives: vec![1.0],
+            }, // rr 1/2
         ];
         assert!((mrr(&qs) - 0.75).abs() < 1e-12);
         assert_eq!(mrr(&[]), 0.0);

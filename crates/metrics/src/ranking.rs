@@ -28,7 +28,11 @@ pub fn hits_at_k(queries: &[RankQuery], k: usize) -> f64 {
 ///
 /// Returns 0 when there are no positives.
 pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
-    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "average_precision: length mismatch"
+    );
     let n_pos = labels.iter().filter(|&&l| l).count();
     if n_pos == 0 {
         return 0.0;
@@ -36,7 +40,9 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     // Descending by score; stable so equal scores keep input order.
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("NaN score in average_precision")
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score in average_precision")
     });
     let mut hits = 0usize;
     let mut sum_prec = 0.0f64;
@@ -70,7 +76,11 @@ impl GroupedMetric {
         if total == 0 {
             return 0.0;
         }
-        self.groups.iter().map(|(_, v, n)| v * *n as f64).sum::<f64>() / total as f64
+        self.groups
+            .iter()
+            .map(|(_, v, n)| v * *n as f64)
+            .sum::<f64>()
+            / total as f64
     }
 
     /// Unweighted (macro) mean over non-empty groups.
@@ -95,7 +105,10 @@ impl GroupedMetric {
             .filter(|(_, _, n)| *n > 0)
             .map(|(_, v, _)| *v)
             .collect();
-        match (vals.iter().cloned().reduce(f64::max), vals.iter().cloned().reduce(f64::min)) {
+        match (
+            vals.iter().cloned().reduce(f64::max),
+            vals.iter().cloned().reduce(f64::min),
+        ) {
             (Some(max), Some(min)) => max - min,
             _ => 0.0,
         }
@@ -117,8 +130,14 @@ mod tests {
     #[test]
     fn hits_at_k_counts_top_ranks() {
         let queries = vec![
-            RankQuery { positive: 0.9, negatives: vec![0.1, 0.2] }, // rank 1
-            RankQuery { positive: 0.15, negatives: vec![0.3, 0.2] }, // rank 3
+            RankQuery {
+                positive: 0.9,
+                negatives: vec![0.1, 0.2],
+            }, // rank 1
+            RankQuery {
+                positive: 0.15,
+                negatives: vec![0.3, 0.2],
+            }, // rank 3
         ];
         assert!((hits_at_k(&queries, 1) - 0.5).abs() < 1e-12);
         assert!((hits_at_k(&queries, 3) - 1.0).abs() < 1e-12);
@@ -128,7 +147,10 @@ mod tests {
     #[test]
     fn hits_at_k_midrank_ties() {
         // positive ties with both negatives: rank = 1 + 0 + 1 = 2
-        let q = vec![RankQuery { positive: 0.5, negatives: vec![0.5, 0.5] }];
+        let q = vec![RankQuery {
+            positive: 0.5,
+            negatives: vec![0.5, 0.5],
+        }];
         assert_eq!(hits_at_k(&q, 1), 0.0);
         assert_eq!(hits_at_k(&q, 2), 1.0);
     }

@@ -17,7 +17,11 @@ impl MeanStd {
     pub fn of(values: &[f64]) -> Self {
         let n = values.len();
         if n == 0 {
-            return Self { mean: 0.0, std: 0.0, n: 0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let std = if n < 2 {
@@ -58,7 +62,11 @@ impl CurveRecorder {
         while self.runs.len() <= run {
             self.runs.push(Vec::new());
         }
-        assert_eq!(self.runs[run].len(), round, "rounds must be recorded in order");
+        assert_eq!(
+            self.runs[run].len(),
+            round,
+            "rounds must be recorded in order"
+        );
         self.runs[run].push(value);
     }
 
@@ -89,7 +97,12 @@ impl CurveRecorder {
     pub fn max_curve(&self) -> Vec<f64> {
         let t = self.num_rounds();
         (0..t)
-            .map(|i| self.runs.iter().map(|r| r[i]).fold(f64::NEG_INFINITY, f64::max))
+            .map(|i| {
+                self.runs
+                    .iter()
+                    .map(|r| r[i])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
             .collect()
     }
 

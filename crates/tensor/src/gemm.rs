@@ -1,0 +1,339 @@
+//! Parallel, cache-blocked GEMM kernels behind [`Matrix::matmul`] and its
+//! fused-transpose variants.
+//!
+//! # Bitwise reproducibility
+//!
+//! The FedDA simulator's seeded-run tests compare results to the last bit,
+//! so these kernels are built around one invariant: **every output element
+//! is produced by exactly the same sequence of f32 operations as the naive
+//! kernels in `matrix.rs`** — a single accumulator chain over `k` in
+//! ascending order, including the naive kernels' `a == 0.0` skip. Cache
+//! blocking only changes *which* elements are worked on when (k-blocks for
+//! one output element are still visited in ascending order), packing only
+//! changes where the B operand is read from, and threads partition output
+//! **rows**, so each output element is written by exactly one thread.
+//! Consequently the blocked kernels return bit-identical results to the
+//! naive ones at every shape and every thread count.
+//!
+//! # Threading
+//!
+//! The pool size comes from the `FEDDA_THREADS` environment variable
+//! (parsed once), defaulting to [`std::thread::available_parallelism`].
+//! [`with_kernel_threads`] applies a thread-local cap on top, which is how
+//! the FL simulator keeps `per-client threads × kernel threads` from
+//! oversubscribing the machine (see `fedda_fl::system`). Threads are
+//! scoped (crossbeam), spawned per call; row ranges are contiguous.
+
+use crate::Matrix;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Dispatch threshold: problems with `m·k·n` at or above this run the
+/// blocked parallel path; smaller ones use the naive loops, whose overhead
+/// is lower. 64³ — roughly where packing + spawn costs amortise.
+pub const BLOCK_THRESHOLD: usize = 64 * 64 * 64;
+
+/// k-extent of a packed B panel (inner blocking over the shared dimension).
+const KC: usize = 256;
+
+/// n-extent of a packed B panel. `KC × NC` f32 = 512 KiB at the defaults,
+/// sized to sit in L2 while the A rows stream past it.
+const NC: usize = 512;
+
+/// j-extent of the B-row block in the NT kernel (rows of B kept hot while
+/// every A row in the partition is dotted against them).
+const NT_JB: usize = 64;
+
+static CONFIGURED_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide kernel thread budget: `FEDDA_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    *CONFIGURED_THREADS.get_or_init(|| match std::env::var("FEDDA_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(default_threads),
+        Err(_) => default_threads(),
+    })
+}
+
+struct CapGuard {
+    prev: usize,
+}
+
+impl Drop for CapGuard {
+    fn drop(&mut self) {
+        THREAD_CAP.with(|c| c.set(self.prev));
+    }
+}
+
+/// Run `f` with kernel threads capped at `cap` on this thread (floored at
+/// 1). Caps nest by tightening: an inner `with_kernel_threads(8, ..)`
+/// inside a `with_kernel_threads(1, ..)` region still runs single-threaded.
+/// The previous cap is restored when `f` returns or panics.
+pub fn with_kernel_threads<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREAD_CAP.with(|c| {
+        let prev = c.get();
+        c.set(cap.max(1).min(prev));
+        CapGuard { prev }
+    });
+    f()
+}
+
+/// Threads a kernel launched from this thread may use right now: the
+/// configured budget under the active [`with_kernel_threads`] cap.
+pub fn kernel_threads() -> usize {
+    configured_threads().min(THREAD_CAP.with(|c| c.get()))
+}
+
+/// Whether an `m×k @ k×n` product is large enough for the blocked path.
+#[inline]
+pub fn use_blocked(m: usize, k: usize, n: usize) -> bool {
+    // Saturating: shapes near usize::MAX would wrap to small products.
+    m.saturating_mul(k).saturating_mul(n) >= BLOCK_THRESHOLD
+}
+
+/// Split `m` output rows across up to `threads` workers and run `body` on
+/// each `(first_row, out_chunk)` pair, in parallel when it pays.
+fn partition_rows(out: &mut Matrix, n: usize, body: impl Fn(usize, &mut [f32]) + Sync) {
+    let m = out.rows();
+    let threads = kernel_threads().min(m).max(1);
+    if threads <= 1 || n == 0 {
+        body(0, out.as_mut_slice());
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    let body = &body;
+    crossbeam::thread::scope(|s| {
+        for (t, chunk) in out.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
+            s.spawn(move |_| body(t * rows_per, chunk));
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Blocked, parallel `a @ b`. Same shape contract as [`Matrix::matmul`];
+/// bit-identical output (see module docs).
+pub fn gemm_nn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "gemm_nn: {}x{} @ {}x{}", m, k, b.rows(), n);
+    let mut out = Matrix::zeros(m, n);
+    let (a, b_data) = (a.as_slice(), b.as_slice());
+    partition_rows(&mut out, n, |row0, chunk| {
+        nn_block(a, b_data, chunk, row0, k, n);
+    });
+    out
+}
+
+/// Blocked, parallel `a^T @ b`. The transpose is materialised once
+/// (`O(m·k)`, negligible against `O(m·k·n)`) and fed through the NN driver:
+/// the naive TN kernel's per-element operation sequence — ascending `p`,
+/// skip on `a[p][i] == 0` — is exactly the NN sequence on `a^T`.
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "gemm_tn: ({}x{})^T @ {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    gemm_nn(&a.transpose(), b)
+}
+
+/// Blocked, parallel `a @ b^T`. Each output element is a full-length dot
+/// with a single accumulator (matching the naive NT kernel), so k cannot be
+/// blocked; instead B's rows are processed in blocks that stay cache-hot
+/// across the A rows of the partition.
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    assert_eq!(k, b.cols(), "gemm_nt: {}x{} @ ({}x{})^T", m, k, n, b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (a, b_data) = (a.as_slice(), b.as_slice());
+    partition_rows(&mut out, n, |row0, chunk| {
+        nt_block(a, b_data, chunk, row0, k, n);
+    });
+    out
+}
+
+/// Cache-blocked NN on one contiguous row partition.
+///
+/// Loop nest: `jc` (N blocks) → `pc` (K blocks) → pack → rows. For a fixed
+/// output column block, K blocks are visited in ascending order, so each
+/// output element accumulates over the full `k` range in order.
+fn nn_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let mut panel = vec![0.0f32; KC * NC.min(n)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Pack B[pc.., jc..] into a contiguous kc × nc panel so the
+            // innermost loop streams one cache-resident buffer.
+            for p in 0..kc {
+                let src = (pc + p) * n + jc;
+                panel[p * nc..(p + 1) * nc].copy_from_slice(&b[src..src + nc]);
+            }
+            for i in 0..rows {
+                let a_off = (row0 + i) * k + pc;
+                let a_row = &a[a_off..a_off + kc];
+                let out_row = &mut out[i * n + jc..i * n + jc + nc];
+                for (p, &av) in a_row.iter().enumerate() {
+                    // Same sparsity skip as the naive kernel — required for
+                    // bit-identity, and FedDA's masked weights really are
+                    // zero-heavy.
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &panel[p * nc..(p + 1) * nc];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// B-row-blocked NT on one contiguous row partition.
+fn nt_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for jb in (0..n).step_by(NT_JB) {
+        let je = (jb + NT_JB).min(n);
+        for i in 0..rows {
+            let a_off = (row0 + i) * k;
+            let a_row = &a[a_off..a_off + k];
+            for j in jb..je {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_matrix(rng: &mut StdRng, r: usize, c: usize, zero_frac: f64) -> Matrix {
+        Matrix::from_vec(
+            r,
+            c,
+            (0..r * c)
+                .map(|_| {
+                    if rng.gen_bool(zero_frac) {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0f32..1.0)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Bit-identity at shapes straddling block boundaries, with zeros mixed
+    /// in to exercise the sparsity skip.
+    #[test]
+    fn blocked_kernels_match_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 70, 5),
+            (65, 64, 63),
+            (130, 300, 17),
+            (40, 513, 520),
+        ] {
+            let a = rand_matrix(&mut rng, m, k, 0.3);
+            let b = rand_matrix(&mut rng, k, n, 0.3);
+            assert_eq!(
+                gemm_nn(&a, &b).as_slice(),
+                a.matmul_naive(&b).as_slice(),
+                "nn {m}x{k}x{n}"
+            );
+            let at = rand_matrix(&mut rng, k, m, 0.3);
+            assert_eq!(
+                gemm_tn(&at, &b).as_slice(),
+                at.matmul_tn_naive(&b).as_slice(),
+                "tn {m}x{k}x{n}"
+            );
+            let bt = rand_matrix(&mut rng, n, k, 0.3);
+            assert_eq!(
+                gemm_nt(&a, &bt).as_slice(),
+                a.matmul_nt_naive(&bt).as_slice(),
+                "nt {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// Results must not depend on the thread count (row partitioning).
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = rand_matrix(&mut rng, 97, 120, 0.2);
+        let b = rand_matrix(&mut rng, 120, 85, 0.2);
+        let single = with_kernel_threads(1, || gemm_nn(&a, &b));
+        for threads in [2, 3, 8] {
+            let multi = with_kernel_threads(threads, || gemm_nn(&a, &b));
+            assert_eq!(single.as_slice(), multi.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn caps_nest_by_tightening_and_restore() {
+        with_kernel_threads(1, || {
+            assert_eq!(kernel_threads(), 1);
+            with_kernel_threads(8, || assert_eq!(kernel_threads(), 1));
+            assert_eq!(kernel_threads(), 1);
+        });
+        assert!(kernel_threads() >= 1);
+    }
+
+    #[test]
+    fn dispatch_threshold_is_volume_based() {
+        assert!(!use_blocked(63, 63, 63));
+        assert!(use_blocked(64, 64, 64));
+        assert!(use_blocked(1, 1, usize::MAX)); // saturating, no overflow
+        assert!(!use_blocked(0, 1000, 1000));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_safe() {
+        let a = Matrix::zeros(5, 0);
+        let b = Matrix::zeros(0, 7);
+        let c = gemm_nn(&a, &b);
+        assert_eq!(c.shape(), (5, 7));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+        let d = gemm_nn(&Matrix::zeros(0, 4), &Matrix::zeros(4, 3));
+        assert_eq!(d.shape(), (0, 3));
+        let e = gemm_nt(&Matrix::zeros(2, 3), &Matrix::zeros(0, 3));
+        assert_eq!(e.shape(), (2, 0));
+    }
+}

@@ -21,13 +21,7 @@ pub fn xavier_normal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> 
 }
 
 /// Uniform initialisation in `[lo, hi)`.
-pub fn uniform<R: Rng + ?Sized>(
-    rng: &mut R,
-    rows: usize,
-    cols: usize,
-    lo: f32,
-    hi: f32,
-) -> Matrix {
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
     let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
     Matrix::from_vec(rows, cols, data)
 }
@@ -81,7 +75,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let m = normal(&mut rng, 100, 100, 1.0, 2.0);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (m.len() - 1) as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean was {mean}");
         assert!((var - 4.0).abs() < 0.3, "var was {var}");

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gemm;
 pub mod init;
 mod matrix;
 mod optim;

@@ -37,12 +37,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Create a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Create a matrix from a flat row-major vector.
@@ -64,13 +72,21 @@ impl Matrix {
     /// Create a `1 × n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { data, rows: 1, cols }
+        Self {
+            data,
+            rows: 1,
+            cols,
+        }
     }
 
     /// Create a `n × 1` column vector.
     pub fn col_vector(data: Vec<f32>) -> Self {
         let rows = data.len();
-        Self { data, rows, cols: 1 }
+        Self {
+            data,
+            rows,
+            cols: 1,
+        }
     }
 
     /// Number of rows.
@@ -148,9 +164,12 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Iterate over rows as slices.
+    /// Iterate over rows as slices. Yields exactly `rows()` items, even
+    /// when `cols() == 0` (each item is then the empty slice) — a plain
+    /// `chunks_exact(cols)` would yield zero rows for an `m × 0` matrix.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        (0..self.rows).map(move |r| &self.data[r * cols..(r + 1) * cols])
     }
 
     /// Fill every element with `value`.
@@ -171,9 +190,28 @@ impl Matrix {
 
     /// `self @ other` — plain matrix multiply.
     ///
+    /// Large products (see [`crate::gemm::use_blocked`]) run on the
+    /// parallel cache-blocked kernel; small ones use the naive loop. Both
+    /// paths return bit-identical results (see the `gemm` module docs).
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if crate::gemm::use_blocked(self.rows, self.cols, other.cols) {
+            crate::gemm::gemm_nn(self, other)
+        } else {
+            self.matmul_naive(other)
+        }
+    }
+
+    /// Single-threaded i-k-j matmul — the reference kernel the blocked path
+    /// must match bit-for-bit, and the fast path for small shapes.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} @ {}x{}",
@@ -199,8 +237,24 @@ impl Matrix {
         out
     }
 
-    /// `self^T @ other` without materialising the transpose.
+    /// `self^T @ other` without materialising the transpose (large
+    /// products dispatch to the blocked kernel, which does materialise it —
+    /// the `O(m·k)` copy is noise next to the `O(m·k·n)` product).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if crate::gemm::use_blocked(self.cols, self.rows, other.cols) {
+            crate::gemm::gemm_tn(self, other)
+        } else {
+            self.matmul_tn_naive(other)
+        }
+    }
+
+    /// Single-threaded p-outer `self^T @ other` reference kernel.
+    pub fn matmul_tn_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn: ({}x{})^T @ {}x{}",
@@ -226,6 +280,20 @@ impl Matrix {
 
     /// `self @ other^T` without materialising the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if crate::gemm::use_blocked(self.rows, self.cols, other.rows) {
+            crate::gemm::gemm_nt(self, other)
+        } else {
+            self.matmul_nt_naive(other)
+        }
+    }
+
+    /// Single-threaded dot-product `self @ other^T` reference kernel.
+    pub fn matmul_nt_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt: {}x{} @ ({}x{})^T",
@@ -258,7 +326,11 @@ impl Matrix {
 
     /// Elementwise `self += scale * other`.
     pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += scale * b;
         }
@@ -294,7 +366,12 @@ impl Matrix {
     /// Elementwise product (allocates).
     pub fn mul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "mul shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -347,7 +424,12 @@ impl Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
         for (i, &j) in idx.iter().enumerate() {
             let j = j as usize;
-            assert!(j < self.rows, "gather_rows: index {} out of {} rows", j, self.rows);
+            assert!(
+                j < self.rows,
+                "gather_rows: index {} out of {} rows",
+                j,
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(j));
         }
         out
@@ -356,11 +438,20 @@ impl Matrix {
     /// Scatter-add rows: `out[idx[i]] += self[i]`, with `out` having
     /// `out_rows` rows.
     pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> Matrix {
-        assert_eq!(idx.len(), self.rows, "scatter_add_rows: index count mismatch");
+        assert_eq!(
+            idx.len(),
+            self.rows,
+            "scatter_add_rows: index count mismatch"
+        );
         let mut out = Matrix::zeros(out_rows, self.cols);
         for (i, &j) in idx.iter().enumerate() {
             let j = j as usize;
-            assert!(j < out_rows, "scatter_add_rows: index {} out of {} rows", j, out_rows);
+            assert!(
+                j < out_rows,
+                "scatter_add_rows: index {} out of {} rows",
+                j,
+                out_rows
+            );
             let src = self.row(i);
             for (o, &s) in out.row_mut(j).iter_mut().zip(src) {
                 *o += s;
@@ -373,6 +464,23 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rows_iter_yields_every_row_of_zero_width_matrices() {
+        // Regression: the old chunks(cols) implementation yielded zero rows
+        // for any m×0 matrix, silently skipping rows in row-wise loops.
+        let m = Matrix::zeros(3, 0);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // 0×n and 0×0 still yield nothing.
+        assert_eq!(Matrix::zeros(0, 4).rows_iter().count(), 0);
+        assert_eq!(Matrix::zeros(0, 0).rows_iter().count(), 0);
+        // Sane shape unchanged: rows come out in order with correct width.
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
 
     #[test]
     fn constructors_and_accessors() {

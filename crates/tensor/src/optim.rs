@@ -19,7 +19,10 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Apply one update: `w -= lr * (g + wd * w)`.
@@ -27,12 +30,9 @@ impl Sgd {
         for (_, p) in params.iter_mut() {
             let wd = self.weight_decay;
             let lr = self.lr;
-            // Split borrows: read grad, write value.
-            let (value, grad) = {
-                let p = p;
-                let g = p.grad().clone();
-                (p.value_mut(), g)
-            };
+            // Read grad (cloned), then write value.
+            let grad = p.grad().clone();
+            let value = p.value_mut();
             for (w, &g) in value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                 *w -= lr * (g + wd * *w);
             }
@@ -61,7 +61,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyper-parameters (`beta1=0.9`, `beta2=0.999`).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Reset the moment estimates (used when a client receives a fresh
@@ -74,10 +83,14 @@ impl Adam {
 
     fn ensure_state(&mut self, params: &ParamSet) {
         if self.m.len() != params.len() {
-            self.m =
-                params.iter().map(|(_, p)| Matrix::zeros(p.value().rows(), p.value().cols())).collect();
-            self.v =
-                params.iter().map(|(_, p)| Matrix::zeros(p.value().rows(), p.value().cols())).collect();
+            self.m = params
+                .iter()
+                .map(|(_, p)| Matrix::zeros(p.value().rows(), p.value().cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|(_, p)| Matrix::zeros(p.value().rows(), p.value().cols()))
+                .collect();
             self.t = 0;
         }
     }
@@ -161,7 +174,10 @@ mod tests {
     fn sgd_weight_decay_shrinks_weights() {
         let mut ps = ParamSet::new();
         ps.add("w", Matrix::row_vector(vec![1.0]));
-        let opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let opt = Sgd {
+            lr: 0.1,
+            weight_decay: 0.5,
+        };
         // zero gradient: only decay acts
         opt.step(&mut ps);
         let w = ps.get(ps.id_of("w").unwrap()).value().get(0, 0);

@@ -49,7 +49,10 @@ impl ParamMeta {
 
     /// A unit disentangled to the given edge type.
     pub fn per_edge_type(edge_type: usize) -> Self {
-        Self { disentangled: true, edge_type: Some(edge_type) }
+        Self {
+            disentangled: true,
+            edge_type: Some(edge_type),
+        }
     }
 }
 
@@ -137,11 +140,19 @@ impl ParamSet {
         meta: ParamMeta,
     ) -> ParamId {
         let name = name.into();
-        assert!(!self.by_name.contains_key(&name), "duplicate parameter name: {name}");
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate parameter name: {name}"
+        );
         let id = ParamId(self.params.len());
         let grad = Matrix::zeros(value.rows(), value.cols());
         self.by_name.insert(name.clone(), id);
-        self.params.push(Param { name, value, grad, meta });
+        self.params.push(Param {
+            name,
+            value,
+            grad,
+            meta,
+        });
         id
     }
 
@@ -187,7 +198,10 @@ impl ParamSet {
 
     /// Iterate parameters mutably in registration order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
-        self.params.iter_mut().enumerate().map(|(i, p)| (ParamId(i), p))
+        self.params
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p))
     }
 
     /// All ids in registration order.
@@ -245,17 +259,31 @@ impl ParamSet {
 
     /// Copy values from another structurally-identical set.
     pub fn copy_values_from(&mut self, other: &ParamSet) {
-        assert_eq!(self.len(), other.len(), "copy_values_from: unit count mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "copy_values_from: unit count mismatch"
+        );
         for (dst, src) in self.params.iter_mut().zip(&other.params) {
-            assert_eq!(dst.value.shape(), src.value.shape(), "copy_values_from: shape mismatch");
-            dst.value.as_mut_slice().copy_from_slice(src.value.as_slice());
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "copy_values_from: shape mismatch"
+            );
+            dst.value
+                .as_mut_slice()
+                .copy_from_slice(src.value.as_slice());
         }
     }
 
     /// Per-unit L2 distance to another structurally-identical set — the
     /// "returned gradient" magnitude FedDA scores clients with.
     pub fn unit_l2_distances(&self, other: &ParamSet) -> Vec<f32> {
-        assert_eq!(self.len(), other.len(), "unit_l2_distances: unit count mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "unit_l2_distances: unit count mismatch"
+        );
         self.params
             .iter()
             .zip(&other.params)
@@ -276,7 +304,9 @@ impl ParamSet {
 
     /// True if any parameter or gradient contains NaN/inf.
     pub fn has_non_finite(&self) -> bool {
-        self.params.iter().any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
+        self.params
+            .iter()
+            .any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
     }
 }
 
@@ -330,7 +360,11 @@ mod tests {
     fn two_param_set() -> ParamSet {
         let mut ps = ParamSet::new();
         ps.add("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
-        ps.add_with_meta("r0", Matrix::row_vector(vec![5.0, 6.0]), ParamMeta::per_edge_type(0));
+        ps.add_with_meta(
+            "r0",
+            Matrix::row_vector(vec![5.0, 6.0]),
+            ParamMeta::per_edge_type(0),
+        );
         ps
     }
 

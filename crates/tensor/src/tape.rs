@@ -37,7 +37,10 @@ impl Segments {
             seg_of_row.iter().all(|&s| (s as usize) < n_segments),
             "Segments: id out of range"
         );
-        Self { seg_of_row, n_segments }
+        Self {
+            seg_of_row,
+            n_segments,
+        }
     }
 }
 
@@ -108,7 +111,9 @@ impl Graph {
 
     /// Create an empty tape with node capacity reserved up front.
     pub fn with_capacity(n: usize) -> Self {
-        Self { nodes: Vec::with_capacity(n) }
+        Self {
+            nodes: Vec::with_capacity(n),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -122,7 +127,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -189,7 +199,11 @@ impl Graph {
     pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
         let (m, n) = self.shape(a);
         let (br, bc) = self.shape(bias);
-        assert_eq!((br, bc), (1, n), "add_row_broadcast: bias must be 1x{n}, got {br}x{bc}");
+        assert_eq!(
+            (br, bc),
+            (1, n),
+            "add_row_broadcast: bias must be 1x{n}, got {br}x{bc}"
+        );
         let mut value = self.value(a).clone();
         {
             let b = self.nodes[bias.0].value.as_slice().to_vec();
@@ -207,7 +221,11 @@ impl Graph {
     pub fn mul_col_broadcast(&mut self, a: Var, c: Var) -> Var {
         let (m, n) = self.shape(a);
         let (cr, cc) = self.shape(c);
-        assert_eq!((cr, cc), (m, 1), "mul_col_broadcast: scale must be {m}x1, got {cr}x{cc}");
+        assert_eq!(
+            (cr, cc),
+            (m, 1),
+            "mul_col_broadcast: scale must be {m}x1, got {cr}x{cc}"
+        );
         let mut value = self.value(a).clone();
         for r in 0..m {
             let s = self.nodes[c.0].value.get(r, 0);
@@ -224,7 +242,11 @@ impl Graph {
     pub fn mul_row_broadcast(&mut self, a: Var, rvec: Var) -> Var {
         let (m, n) = self.shape(a);
         let (rr, rc) = self.shape(rvec);
-        assert_eq!((rr, rc), (1, n), "mul_row_broadcast: scale must be 1x{n}, got {rr}x{rc}");
+        assert_eq!(
+            (rr, rc),
+            (1, n),
+            "mul_row_broadcast: scale must be 1x{n}, got {rr}x{rc}"
+        );
         let mut value = self.value(a).clone();
         {
             let rv = self.nodes[rvec.0].value.as_slice().to_vec();
@@ -346,7 +368,11 @@ impl Graph {
     pub fn segment_softmax(&mut self, a: Var, segs: Arc<Segments>) -> Var {
         let (m, n) = self.shape(a);
         assert_eq!(n, 1, "segment_softmax: input must be a column vector");
-        assert_eq!(segs.seg_of_row.len(), m, "segment_softmax: segment count mismatch");
+        assert_eq!(
+            segs.seg_of_row.len(),
+            m,
+            "segment_softmax: segment count mismatch"
+        );
         let x = self.value(a).as_slice();
         let mut maxes = vec![f32::NEG_INFINITY; segs.n_segments];
         for (i, &s) in segs.seg_of_row.iter().enumerate() {
@@ -403,7 +429,10 @@ impl Graph {
         let (m, n) = self.shape(logits);
         assert_eq!(targets.len(), m, "cross_entropy_rows: one target per row");
         assert!(m > 0, "cross_entropy_rows: empty batch");
-        debug_assert!(targets.iter().all(|&t| (t as usize) < n), "target class out of range");
+        debug_assert!(
+            targets.iter().all(|&t| (t as usize) < n),
+            "target class out of range"
+        );
         let x = self.value(logits);
         let mut loss = 0.0f64;
         for (r, &t) in targets.iter().enumerate() {
@@ -484,7 +513,11 @@ impl Graph {
     /// `max(x, 0) - x*t + ln(1 + e^{-|x|})`.
     pub fn bce_with_logits(&mut self, logits: Var, targets: Arc<Vec<f32>>) -> Var {
         let x = self.value(logits).as_slice();
-        assert_eq!(x.len(), targets.len(), "bce_with_logits: target length mismatch");
+        assert_eq!(
+            x.len(),
+            targets.len(),
+            "bce_with_logits: target length mismatch"
+        );
         assert!(!x.is_empty(), "bce_with_logits: empty input");
         let mut loss = 0.0f64;
         for (&xi, &ti) in x.iter().zip(targets.iter()) {
@@ -501,8 +534,17 @@ impl Graph {
     /// reproducible.
     pub fn dropout_with_mask(&mut self, a: Var, mask: Arc<Vec<f32>>) -> Var {
         let x = self.value(a);
-        assert_eq!(x.len(), mask.len(), "dropout_with_mask: mask length mismatch");
-        let data = x.as_slice().iter().zip(mask.iter()).map(|(&v, &m)| v * m).collect();
+        assert_eq!(
+            x.len(),
+            mask.len(),
+            "dropout_with_mask: mask length mismatch"
+        );
+        let data = x
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
         let value = Matrix::from_vec(x.rows(), x.cols(), data);
         let rg = self.requires(a);
         self.push(value, Op::Dropout(a, mask), rg)
@@ -608,10 +650,16 @@ impl Graph {
             }
             Op::Mul(a, b) => {
                 let (a, b) = (*a, *b);
-                let da =
-                    if self.requires(a) { Some(g.mul(&self.nodes[b.0].value)) } else { None };
-                let db =
-                    if self.requires(b) { Some(g.mul(&self.nodes[a.0].value)) } else { None };
+                let da = if self.requires(a) {
+                    Some(g.mul(&self.nodes[b.0].value))
+                } else {
+                    None
+                };
+                let db = if self.requires(b) {
+                    Some(g.mul(&self.nodes[a.0].value))
+                } else {
+                    None
+                };
                 self.put_grad(i, g);
                 if let Some(da) = da {
                     self.accum_owned(a, da);
@@ -687,8 +735,7 @@ impl Graph {
                 let da = if self.requires(a) {
                     let mut da = g.clone();
                     for r in 0..m {
-                        for (x, &s) in da.row_mut(r).iter_mut().zip(self.nodes[rv.0].value.row(0))
-                        {
+                        for (x, &s) in da.row_mut(r).iter_mut().zip(self.nodes[rv.0].value.row(0)) {
                             *x *= s;
                         }
                     }
@@ -726,7 +773,10 @@ impl Graph {
                 let a = *a;
                 let slope = *slope;
                 let mut da = g.clone();
-                for (x, &inp) in da.as_mut_slice().iter_mut().zip(self.nodes[a.0].value.as_slice())
+                for (x, &inp) in da
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.nodes[a.0].value.as_slice())
                 {
                     if inp < 0.0 {
                         *x *= slope;
@@ -754,7 +804,11 @@ impl Graph {
             Op::Sigmoid(a) => {
                 let a = *a;
                 let mut da = g.clone();
-                for (x, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice()) {
+                for (x, &y) in da
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.nodes[i].value.as_slice())
+                {
                     *x *= y * (1.0 - y);
                 }
                 Todo::One(a, da)
@@ -892,8 +946,7 @@ impl Graph {
                     let mut da = Matrix::zeros(m, n);
                     for r in 0..m {
                         let gr = g.get(r, 0);
-                        for (o, &bv) in da.row_mut(r).iter_mut().zip(self.nodes[b.0].value.row(r))
-                        {
+                        for (o, &bv) in da.row_mut(r).iter_mut().zip(self.nodes[b.0].value.row(r)) {
                             *o = gr * bv;
                         }
                     }
@@ -905,8 +958,7 @@ impl Graph {
                     let mut db = Matrix::zeros(m, n);
                     for r in 0..m {
                         let gr = g.get(r, 0);
-                        for (o, &av) in db.row_mut(r).iter_mut().zip(self.nodes[a.0].value.row(r))
-                        {
+                        for (o, &av) in db.row_mut(r).iter_mut().zip(self.nodes[a.0].value.row(r)) {
                             *o = gr * av;
                         }
                     }
@@ -950,8 +1002,12 @@ impl Graph {
             Op::Dropout(a, mask) => {
                 let a = *a;
                 let mask = mask.clone();
-                let data =
-                    g.as_slice().iter().zip(mask.iter()).map(|(&gv, &mv)| gv * mv).collect();
+                let data = g
+                    .as_slice()
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(&gv, &mv)| gv * mv)
+                    .collect();
                 let (m, n) = g.shape();
                 Todo::One(a, Matrix::from_vec(m, n, data))
             }

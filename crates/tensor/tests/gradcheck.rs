@@ -21,10 +21,12 @@ where
     g.backward(loss);
     let grads = vars
         .iter()
-        .map(|&v| g.grad(v).cloned().unwrap_or_else(|| {
-            let (r, c) = g.shape(v);
-            Matrix::zeros(r, c)
-        }))
+        .map(|&v| {
+            g.grad(v).cloned().unwrap_or_else(|| {
+                let (r, c) = g.shape(v);
+                Matrix::zeros(r, c)
+            })
+        })
         .collect();
     (value, grads)
 }
@@ -85,6 +87,49 @@ fn grad_matmul() {
         |g, v| {
             let y = g.matmul(v[0], v[1]);
             g.sum_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_matmul_weighted() {
+    // A non-uniform upstream gradient (dY varies per element) exercises the
+    // matmul backward paths for real: dA = dY · Bᵀ runs matmul_nt and
+    // dB = Aᵀ · dY runs matmul_tn. `sum_all` alone would feed them an
+    // all-ones dY, which both transposed kernels pass trivially.
+    let mut rng = StdRng::seed_from_u64(21);
+    let a = randn(&mut rng, 3, 5);
+    let b = randn(&mut rng, 5, 4);
+    let w = randn(&mut rng, 3, 4);
+    gradcheck(
+        &[a, b, w],
+        |g, v| {
+            let y = g.matmul(v[0], v[1]);
+            let weighted = g.mul(y, v[2]);
+            let sq = g.mul(weighted, weighted);
+            g.sum_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_matmul_chain() {
+    // Two chained matmuls: the inner product's gradient is itself a matmul
+    // output, so matmul_nt/matmul_tn run on non-trivial dY matrices and
+    // their results feed further backward steps.
+    let mut rng = StdRng::seed_from_u64(22);
+    let a = randn(&mut rng, 2, 4);
+    let b = randn(&mut rng, 4, 3);
+    let c = randn(&mut rng, 3, 2);
+    gradcheck(
+        &[a, b, c],
+        |g, v| {
+            let ab = g.matmul(v[0], v[1]);
+            let abc = g.matmul(ab, v[2]);
+            let sq = g.mul(abc, abc);
+            g.sum_all(sq)
         },
         1e-2,
     );
@@ -367,7 +412,11 @@ fn grad_cross_entropy_rows() {
     let mut rng = StdRng::seed_from_u64(20);
     let a = randn(&mut rng, 4, 3);
     let targets = Arc::new(vec![0u32, 2, 1, 2]);
-    gradcheck(&[a], |g, v| g.cross_entropy_rows(v[0], targets.clone()), 1e-2);
+    gradcheck(
+        &[a],
+        |g, v| g.cross_entropy_rows(v[0], targets.clone()),
+        1e-2,
+    );
 }
 
 #[test]

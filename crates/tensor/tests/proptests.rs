@@ -50,6 +50,43 @@ proptest! {
     }
 
     #[test]
+    fn blocked_gemm_matches_naive(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use fedda_tensor::gemm;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |r: usize, c: usize| Matrix::from_vec(r, c, (0..r*c).map(|_| {
+            // sprinkle exact zeros so the naive kernel's zero-skip is hit
+            if rng.gen_range(0u8..4) == 0 { 0.0 } else { rng.gen_range(-2.0f32..2.0) }
+        }).collect());
+        let a = fill(m, k);
+        let at = fill(k, m); // A stored transposed, for the tn kernel
+        let b = fill(k, n);
+        let bt = fill(n, k); // B stored transposed, for the nt kernel
+        // The blocked kernels replay the naive per-element operation order,
+        // so agreement is exact (bitwise), not approximate — below AND above
+        // the dispatch threshold.
+        prop_assert_eq!(gemm::gemm_nn(&a, &b), a.matmul_naive(&b));
+        prop_assert_eq!(gemm::gemm_tn(&at, &b), at.matmul_tn_naive(&b));
+        prop_assert_eq!(gemm::gemm_nt(&a, &bt), a.matmul_nt_naive(&bt));
+    }
+
+    #[test]
+    fn dispatched_matmul_is_exact_above_threshold(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // 65³ > BLOCK_THRESHOLD = 64³, so Matrix::matmul takes the blocked
+        // path; the naive reference must still match exactly. (ISSUE asks
+        // ≤ 1e-4 relative here — bit-equality is strictly stronger.)
+        let d = 65usize;
+        let a = Matrix::from_vec(d, d, (0..d*d).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let b = Matrix::from_vec(d, d, (0..d*d).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        prop_assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+    }
+
+    #[test]
     fn add_is_commutative(m in matrix_strategy(6), seed in any::<u64>()) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

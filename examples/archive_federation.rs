@@ -19,8 +19,11 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // 1. Synthesize and split.
-    let generated =
-        amazon_like(&PresetOptions { scale: 0.004, seed: 9, ..Default::default() });
+    let generated = amazon_like(&PresetOptions {
+        scale: 0.004,
+        seed: 9,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(1);
     let split = split_edges(&generated.graph, 0.10, &mut rng);
     let pcfg = PartitionConfig::paper_defaults(4, 2, 5);
@@ -49,7 +52,12 @@ fn main() {
     println!("reloaded graphs are bit-identical");
 
     // 4. Metrics computed on original vs reloaded data agree exactly.
-    let cfg = HgnConfig { hidden_dim: 8, num_layers: 1, num_heads: 2, ..Default::default() };
+    let cfg = HgnConfig {
+        hidden_dim: 8,
+        num_layers: 1,
+        num_heads: 2,
+        ..Default::default()
+    };
     let (model, params) =
         SimpleHgn::init_params(split.train.schema(), &cfg, &mut StdRng::seed_from_u64(2));
     let test2 = io::load_json(&dir.join("global_test.json")).expect("load test");

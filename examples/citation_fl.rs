@@ -18,8 +18,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let generated =
-        dblp_like(&PresetOptions { scale: 0.002, seed: 5, ..Default::default() });
+    let generated = dblp_like(&PresetOptions {
+        scale: 0.002,
+        seed: 5,
+        ..Default::default()
+    });
     let graph = generated.graph;
     println!(
         "bibliographic heterograph: {} nodes ({} types), {} links ({} types)",
@@ -36,8 +39,17 @@ fn main() {
 
     let fl_cfg = FlConfig {
         rounds: 12,
-        model: HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, ..Default::default() },
-        train: TrainConfig { local_epochs: 2, lr: 5e-3, ..Default::default() },
+        model: HgnConfig {
+            hidden_dim: 8,
+            num_layers: 2,
+            num_heads: 2,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 2,
+            lr: 5e-3,
+            ..Default::default()
+        },
         eval_negatives: 5,
         seed: 9,
         parallel: true,
@@ -45,7 +57,12 @@ fn main() {
     };
 
     // Vanilla FedAvg as the reference bill.
-    let mut system = FlSystem::new(&split.train, &split.test, communities.clone(), fl_cfg.clone());
+    let mut system = FlSystem::new(
+        &split.train,
+        &split.test,
+        communities.clone(),
+        fl_cfg.clone(),
+    );
     let n_units = system.num_units();
     let fedavg = FedAvg::vanilla().run(&mut system);
     println!(
@@ -78,7 +95,9 @@ fn main() {
         );
     }
     let saved = 1.0
-        - fedda.comm.total_uplink_units() as f64
-            / fedavg.comm.total_uplink_units().max(1) as f64;
-    println!("\nFedDA transmitted {:.0}% fewer parameter units than FedAvg.", saved * 100.0);
+        - fedda.comm.total_uplink_units() as f64 / fedavg.comm.total_uplink_units().max(1) as f64;
+    println!(
+        "\nFedDA transmitted {:.0}% fewer parameter units than FedAvg.",
+        saved * 100.0
+    );
 }

@@ -31,11 +31,8 @@ fn main() {
 
     // 2. The (conceptual) city-wide graph: ~400 patients, shared drug /
     //    procedure / disease vocabularies.
-    let cfg = latent::LatentGraphConfig::new(
-        schema,
-        vec![400, 60, 50, 70],
-        vec![2400, 1800, 2600, 1200],
-    );
+    let cfg =
+        latent::LatentGraphConfig::new(schema, vec![400, 60, 50, 70], vec![2400, 1800, 2600, 1200]);
     let city = latent::generate(&cfg, 42);
     println!(
         "city-wide clinical heterograph: {} nodes, {} links across {} link types",
@@ -56,7 +53,10 @@ fn main() {
         seed: 11,
     };
     let clinics = partition_non_iid(&split.train, &pcfg);
-    println!("six clinics, mean pairwise non-IIDness (TV distance): {:.3}\n", non_iidness(&clinics));
+    println!(
+        "six clinics, mean pairwise non-IIDness (TV distance): {:.3}\n",
+        non_iidness(&clinics)
+    );
     for (i, clinic) in clinics.iter().enumerate() {
         let names: Vec<&str> = clinic
             .specialized
@@ -73,8 +73,17 @@ fn main() {
     // 4. Federate with FedDA (Explore) and compare against training alone.
     let fl_cfg = FlConfig {
         rounds: 12,
-        model: HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, ..Default::default() },
-        train: TrainConfig { local_epochs: 2, lr: 5e-3, ..Default::default() },
+        model: HgnConfig {
+            hidden_dim: 8,
+            num_layers: 2,
+            num_heads: 2,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 2,
+            lr: 5e-3,
+            ..Default::default()
+        },
         eval_negatives: 5,
         seed: 1,
         parallel: true,
@@ -83,8 +92,11 @@ fn main() {
     let mut system = FlSystem::new(&split.train, &split.test, clinics, fl_cfg);
 
     let local = baselines::run_local_only(&system);
-    println!("\nisolated clinics:  mean test AUC {:.4} (± {:.4})",
-        local.auc_summary().mean, local.auc_summary().std);
+    println!(
+        "\nisolated clinics:  mean test AUC {:.4} (± {:.4})",
+        local.auc_summary().mean,
+        local.auc_summary().std
+    );
 
     let result = FedDa::explore().run(&mut system);
     println!(

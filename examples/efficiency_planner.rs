@@ -7,14 +7,19 @@
 //! Run with: `cargo run -p fedda --release --example efficiency_planner`
 
 use fedda::fl::analysis::{
-    explore_ratio_bound, restart_expected_units, restart_period, restart_ratio,
-    EfficiencyInputs,
+    explore_ratio_bound, restart_expected_units, restart_period, restart_ratio, EfficiencyInputs,
 };
 
 fn main() {
     // A paper-sized deployment: Simple-HGN has ~65 named parameter tensors,
     // ~20 of which are per-edge-type (disentangled); 16 hospitals.
-    let inputs = EfficiencyInputs { m: 16, n: 65, n_d: 20, r_c: 0.8, r_p: 0.5 };
+    let inputs = EfficiencyInputs {
+        m: 16,
+        n: 65,
+        n_d: 20,
+        r_c: 0.8,
+        r_p: 0.5,
+    };
     inputs.validate().expect("valid inputs");
     println!(
         "Deployment: M={} clients, N={} units (N_d={} disentangled), r_c={}, r_p={}\n",
@@ -22,12 +27,18 @@ fn main() {
     );
 
     println!("Restart strategy (Eqs. 8-9):");
-    println!("{:>8} {:>10} {:>16} {:>14}", "beta_r", "t0 rounds", "E[units]/cycle", "vs FedAvg");
+    println!(
+        "{:>8} {:>10} {:>16} {:>14}",
+        "beta_r", "t0 rounds", "E[units]/cycle", "vs FedAvg"
+    );
     for beta_r in [0.2, 0.4, 0.6, 0.8] {
         let t0 = restart_period(inputs.r_c, beta_r);
         let expected = restart_expected_units(&inputs, t0);
         let ratio = restart_ratio(&inputs, beta_r);
-        println!("{beta_r:>8.2} {t0:>10} {expected:>16.0} {ratio:>13.1}%", ratio = ratio * 100.0);
+        println!(
+            "{beta_r:>8.2} {t0:>10} {expected:>16.0} {ratio:>13.1}%",
+            ratio = ratio * 100.0
+        );
     }
 
     println!("\nExplore strategy (Eq. 11 upper bound):");

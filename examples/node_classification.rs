@@ -7,13 +7,19 @@
 
 use fedda::data::{dblp_like, PresetOptions};
 use fedda::hetgraph::NodeTypeId;
-use fedda::hgn::{GraphView, HgnConfig, LinkPredictor, NodeClassifier, Rgcn, RgcnConfig, SimpleHgn};
+use fedda::hgn::{
+    GraphView, HgnConfig, LinkPredictor, NodeClassifier, Rgcn, RgcnConfig, SimpleHgn,
+};
 use fedda::metrics::majority_baseline;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let generated = dblp_like(&PresetOptions { scale: 0.003, seed: 21, ..Default::default() });
+    let generated = dblp_like(&PresetOptions {
+        scale: 0.003,
+        seed: 21,
+        ..Default::default()
+    });
     let g = &generated.graph;
     let k = generated.communities_per_type;
     println!(
@@ -23,7 +29,10 @@ fn main() {
     );
 
     let authors = g.nodes().nodes_of_type(NodeTypeId(0));
-    let labels: Vec<u32> = authors.iter().map(|&v| generated.communities[v as usize]).collect();
+    let labels: Vec<u32> = authors
+        .iter()
+        .map(|&v| generated.communities[v as usize])
+        .collect();
     let cut = authors.len() * 7 / 10;
     let (train_nodes, test_nodes) = authors.split_at(cut);
     let (train_labels, test_labels) = labels.split_at(cut);
@@ -36,7 +45,12 @@ fn main() {
     );
 
     // Simple-HGN encoder + head.
-    let cfg = HgnConfig { hidden_dim: 8, num_layers: 2, num_heads: 2, ..Default::default() };
+    let cfg = HgnConfig {
+        hidden_dim: 8,
+        num_layers: 2,
+        num_heads: 2,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(0);
     let (encoder, mut params) = SimpleHgn::init_params(g.schema(), &cfg, &mut rng);
     let clf = NodeClassifier::new(encoder, &mut params, cfg.out_dim(), k, &mut rng);
@@ -47,13 +61,23 @@ fn main() {
 
     // R-GCN encoder + head (the LinkPredictor seam means the classifier is
     // encoder-agnostic).
-    let rgcn_cfg = RgcnConfig { hidden_dim: 16, num_layers: 2, ..Default::default() };
+    let rgcn_cfg = RgcnConfig {
+        hidden_dim: 16,
+        num_layers: 2,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(0);
     let (rgcn, mut rgcn_params) = Rgcn::init_params(g.schema(), &rgcn_cfg, &mut rng);
     let rgcn_view = GraphView::new(g, rgcn.uses_self_loops());
-    let rgcn_clf =
-        NodeClassifier::new(rgcn, &mut rgcn_params, rgcn_cfg.hidden_dim, k, &mut rng);
-    let loss = rgcn_clf.train(&mut rgcn_params, &rgcn_view, train_nodes, train_labels, 80, 5e-3);
+    let rgcn_clf = NodeClassifier::new(rgcn, &mut rgcn_params, rgcn_cfg.hidden_dim, k, &mut rng);
+    let loss = rgcn_clf.train(
+        &mut rgcn_params,
+        &rgcn_view,
+        train_nodes,
+        train_labels,
+        80,
+        5e-3,
+    );
     let (acc, f1) = rgcn_clf.evaluate(&rgcn_params, &rgcn_view, test_nodes, test_labels);
     println!("R-GCN:      final loss {loss:.4}, test accuracy {acc:.3}, macro-F1 {f1:.3}");
     println!("\nBoth encoders recover the planted communities well above the baseline.");

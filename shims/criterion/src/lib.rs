@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], `sample_size`,
+//! and the `criterion_group!` / `criterion_main!` macros — on plain
+//! `std::time::Instant` wall-clock timing. No plotting, no statistics beyond
+//! mean/min over samples.
+//!
+//! Like upstream, benchmarks only measure for real when the binary receives
+//! `--bench` (which `cargo bench` passes). Under `cargo test`, harness-false
+//! bench targets are executed without it; each benchmark then runs a single
+//! smoke iteration so the suite stays fast.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mode the harness was launched in (see crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: calibrate and measure.
+    Measure,
+    /// `cargo test`: run each benchmark body once.
+    Smoke,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            mode: detect_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, &id.into(), &mut f);
+        self
+    }
+
+    /// Upstream prints aggregate output here; the shim has none.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark named `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(
+            self.criterion.mode,
+            self.criterion.sample_size,
+            &label,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a benchmark with an input value passed through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.text);
+        run_one(
+            self.criterion.mode,
+            self.criterion.sample_size,
+            &label,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Override the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Label of the form `<function>/<parameter>`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+fn run_one(mode: Mode, sample_size: usize, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        stats: None,
+    };
+    f(&mut bencher);
+    match (mode, bencher.stats) {
+        (Mode::Smoke, _) => println!("{label}: ok (smoke)"),
+        (Mode::Measure, Some(stats)) => println!(
+            "{label}: time [mean {} / min {}] over {} samples x {} iters",
+            format_secs(stats.mean),
+            format_secs(stats.min),
+            sample_size,
+            stats.iters_per_sample,
+        ),
+        (Mode::Measure, None) => println!("{label}: no measurement (iter was never called)"),
+    }
+}
+
+struct Stats {
+    mean: f64,
+    min: f64,
+    iters_per_sample: u64,
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measure `f`. Calibrates the per-sample iteration count so a sample
+    /// lasts roughly 10ms, then records `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Calibrate from one warm-up call.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+            total += per_iter;
+            min = min.min(per_iter);
+        }
+        self.stats = Some(Stats {
+            mean: total / self.sample_size as f64,
+            min,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn force_mode(c: &mut Criterion, mode: Mode) {
+        c.mode = mode;
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once_per_bench() {
+        let mut c = Criterion::default().sample_size(10);
+        force_mode(&mut c, Mode::Smoke);
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, _| {
+            b.iter(|| calls += 1)
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_stats() {
+        let mut c = Criterion::default().sample_size(3);
+        force_mode(&mut c, Mode::Measure);
+        let mut ran = false;
+        c.bench_function("busy", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("nn", 64).text, "nn/64");
+        assert_eq!(BenchmarkId::from_parameter(7).text, "7");
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — a thin adapter over
+//! `std::thread::scope` (stable since Rust 1.63) exposing crossbeam's
+//! call shape: the scope closure and each spawn closure receive a scope
+//! handle, `scope` returns a `Result`, and handles expose `join()`.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Result of a scope: `Err` carries a propagated panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle passed to scope/spawn closures; spawns threads that may
+    /// borrow from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives this scope, so
+        /// spawned threads can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned in the scope are
+    /// joined before `scope` returns.
+    ///
+    /// Unlike crossbeam proper, a panic in `f` itself propagates instead of
+    /// being captured in the `Err` variant (panics in spawned threads
+    /// surface through `join`, as in crossbeam). No caller in this
+    /// workspace relies on the difference.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        let caught = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("scope");
+        assert!(caught);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

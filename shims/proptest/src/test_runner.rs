@@ -1,0 +1,106 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::SeedableRng as _;
+
+/// RNG handed to strategies; deterministic per (test name, case index).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Outcome of a single sampled case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(why: impl Into<String>) -> Self {
+        Self::Reject(why.into())
+    }
+}
+
+/// Cases run per property. Upstream defaults to 256; tests here also run in
+/// debug builds under the tier-1 gate, so stay a bit leaner.
+const CASES: usize = 64;
+
+/// Cap on `prop_assume!` discards before giving up on finding more cases.
+const MAX_REJECTS: usize = 4096;
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Run `case` against [`CASES`] sampled inputs. Each case gets an RNG seeded
+/// from the test name and case index, so failures reproduce across runs.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    let mut index = 0u64;
+    while passed < CASES {
+        let seed = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > MAX_REJECTS {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected}) with only {passed}/{CASES} cases accepted"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case #{index} (seed {seed:#x}): {msg}");
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_only_accepted_cases() {
+        let mut accepted = 0;
+        let mut seen = 0;
+        run("runner_counts_only_accepted_cases", |rng| {
+            use rand::Rng as _;
+            seen += 1;
+            if rng.gen_range(0u32..4) == 0 {
+                return Err(TestCaseError::reject("one in four"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, CASES);
+        assert!(seen >= CASES);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run("runner_panics_on_failure", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

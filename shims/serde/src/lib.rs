@@ -1,0 +1,12 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` defines visitor-based `Serialize`/`Deserialize` traits
+//! plus derive macros. This workspace only ever moves data through JSON, so
+//! the shimmed traits live in the `serde_json` shim (one method each,
+//! converting to/from a JSON [`serde_json::Value`] tree) and are re-exported
+//! here under the upstream paths. Types that upstream would `#[derive]`
+//! implement the pair by hand instead.
+
+#![warn(missing_docs)]
+
+pub use serde_json::{Deserialize, Serialize};

@@ -23,7 +23,11 @@ fn quick(dataset: Dataset, seed: u64) -> ExperimentConfig {
             edge_emb_dim: 4,
             ..Default::default()
         },
-        train: TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
         eval_negatives: 3,
         seed,
         parallel: true,
@@ -49,7 +53,11 @@ fn table2_style_grid_produces_complete_rows() {
         assert_eq!(res.final_auc.n, 2, "{} did not aggregate 2 runs", res.name);
         assert!(res.final_auc.mean.is_finite());
         assert!(res.final_mrr.mean > 0.0);
-        table.row(&[res.name.clone(), res.final_auc.fmt_pm(), res.final_mrr.fmt_pm()]);
+        table.row(&[
+            res.name.clone(),
+            res.final_auc.fmt_pm(),
+            res.final_mrr.fmt_pm(),
+        ]);
     }
     let rendered = table.render();
     assert!(rendered.contains("FedDA 1 (Restart)"));
@@ -76,10 +84,19 @@ fn fig5_style_curves_are_complete_and_bounded() {
 fn efficiency_model_is_consistent_with_a_simulated_run() {
     let exp = Experiment::new(quick(Dataset::DblpLike, 3));
     let system = exp.system_for_run(0);
-    let (m, n, n_d) =
-        (system.num_clients(), system.num_units(), system.num_disentangled_units());
+    let (m, n, n_d) = (
+        system.num_clients(),
+        system.num_units(),
+        system.num_disentangled_units(),
+    );
     assert!(n_d > 0 && n_d < n);
-    let inputs = analysis::EfficiencyInputs { m, n, n_d, r_c: 0.9, r_p: 0.3 };
+    let inputs = analysis::EfficiencyInputs {
+        m,
+        n,
+        n_d,
+        r_c: 0.9,
+        r_p: 0.3,
+    };
     // The analytic FedAvg-relative ratios must be proper savings.
     assert!(analysis::restart_ratio(&inputs, 0.4) <= 1.0 + 1e-9);
     assert!(analysis::explore_ratio_bound(&inputs, 0.667) < 1.0);
@@ -109,8 +126,17 @@ fn detailed_global_evaluation_covers_every_edge_type() {
     let mut system = exp.system_for_run(0);
     let _ = FedDa::explore().run(&mut system);
     let detail = system.evaluate_global_detailed(99);
-    assert_eq!(detail.auc_by_edge_type.groups.len(), 5, "DBLP has 5 edge types");
-    let support: usize = detail.auc_by_edge_type.groups.iter().map(|(_, _, n)| n).sum();
+    assert_eq!(
+        detail.auc_by_edge_type.groups.len(),
+        5,
+        "DBLP has 5 edge types"
+    );
+    let support: usize = detail
+        .auc_by_edge_type
+        .groups
+        .iter()
+        .map(|(_, _, n)| n)
+        .sum();
     assert_eq!(support, detail.overall.num_positives);
     assert!(detail.auc_by_edge_type.gap() >= 0.0);
     assert!(detail.hits_at_1 <= detail.hits_at_3 + 1e-12);

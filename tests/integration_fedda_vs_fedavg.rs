@@ -20,7 +20,11 @@ fn cfg(dataset: Dataset, clients: usize, rounds: usize, seed: u64) -> Experiment
             edge_emb_dim: 4,
             ..Default::default()
         },
-        train: TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
         eval_negatives: 3,
         seed,
         parallel: true,
@@ -77,8 +81,12 @@ fn explore_floor_recovers_within_one_round() {
     fedda.strategy = Reactivation::Explore { beta_e: 0.5 };
     let mut system = exp.system_for_run(0);
     let result = fedda.run(&mut system);
-    let counts: Vec<usize> =
-        result.comm.rounds().iter().map(|r| r.active_clients).collect();
+    let counts: Vec<usize> = result
+        .comm
+        .rounds()
+        .iter()
+        .map(|r| r.active_clients)
+        .collect();
     for (r, w) in counts.windows(2).enumerate() {
         assert!(w[0] > 0, "round {r} had no active clients");
         if w[0] < 3 {
@@ -107,7 +115,10 @@ fn restart_resets_masks_to_full_transmission() {
         .map(|r| r.uplink_units as f64 / r.active_clients.max(1) as f64)
         .collect();
     let masked_round = per_client.iter().position(|&u| u < n - 0.5);
-    assert!(masked_round.is_some(), "masking never engaged: {per_client:?}");
+    assert!(
+        masked_round.is_some(),
+        "masking never engaged: {per_client:?}"
+    );
     let reset_after = per_client[masked_round.unwrap() + 1..]
         .iter()
         .any(|&u| (u - n).abs() < 0.5);
@@ -144,7 +155,11 @@ fn fedda_drives_an_rgcn_model_through_with_model() {
 
     let exp = Experiment::new(cfg(Dataset::DblpLike, 4, 5, 7));
     let clients = exp.clients_for_run(0);
-    let rgcn_cfg = RgcnConfig { hidden_dim: 8, num_layers: 1, ..Default::default() };
+    let rgcn_cfg = RgcnConfig {
+        hidden_dim: 8,
+        num_layers: 1,
+        ..Default::default()
+    };
     let (model, params) = Rgcn::init_params(
         exp.split().train.schema(),
         &rgcn_cfg,
@@ -153,7 +168,11 @@ fn fedda_drives_an_rgcn_model_through_with_model() {
     assert_eq!(LinkPredictor::name(&model), "R-GCN");
     let fl_cfg = FlConfig {
         rounds: 5,
-        train: fedda::hgn::TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() },
+        train: fedda::hgn::TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
         eval_negatives: 3,
         seed: 7,
         ..Default::default()

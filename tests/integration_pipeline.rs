@@ -12,16 +12,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_model() -> HgnConfig {
-    HgnConfig { hidden_dim: 4, num_layers: 1, num_heads: 2, edge_emb_dim: 4, ..Default::default() }
+    HgnConfig {
+        hidden_dim: 4,
+        num_layers: 1,
+        num_heads: 2,
+        edge_emb_dim: 4,
+        ..Default::default()
+    }
 }
 
 fn quick_train() -> TrainConfig {
-    TrainConfig { local_epochs: 1, lr: 5e-3, ..Default::default() }
+    TrainConfig {
+        local_epochs: 1,
+        lr: 5e-3,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn full_pipeline_runs_and_improves_over_initialization() {
-    let generated = dblp_like(&PresetOptions { scale: 0.002, seed: 1, ..Default::default() });
+    let generated = dblp_like(&PresetOptions {
+        scale: 0.002,
+        seed: 1,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(2);
     let split = split_edges(&generated.graph, 0.15, &mut rng);
     let pcfg = PartitionConfig::paper_defaults(4, 5, 3);
@@ -35,8 +49,8 @@ fn full_pipeline_runs_and_improves_over_initialization() {
         eval_negatives: 5,
         seed: 4,
         parallel: true,
-            privacy: None,
-            weighting: AggWeighting::Uniform,
+        privacy: None,
+        weighting: AggWeighting::Uniform,
     };
     let mut system = FlSystem::new(&split.train, &split.test, clients, cfg);
     let initial = system.evaluate_global(999);
@@ -49,15 +63,16 @@ fn full_pipeline_runs_and_improves_over_initialization() {
         initial.roc_auc
     );
     // Comm accounting is exact for vanilla FedAvg.
-    assert_eq!(
-        result.comm.total_uplink_units(),
-        6 * 4 * system.num_units()
-    );
+    assert_eq!(result.comm.total_uplink_units(), 6 * 4 * system.num_units());
 }
 
 #[test]
 fn iid_and_non_iid_partitions_flow_through_the_system() {
-    let generated = dblp_like(&PresetOptions { scale: 0.002, seed: 5, ..Default::default() });
+    let generated = dblp_like(&PresetOptions {
+        scale: 0.002,
+        seed: 5,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(6);
     let split = split_edges(&generated.graph, 0.15, &mut rng);
     let pcfg = PartitionConfig::paper_defaults(4, 5, 7);
@@ -86,7 +101,11 @@ fn iid_and_non_iid_partitions_flow_through_the_system() {
 
 #[test]
 fn global_model_parameters_stay_finite_across_rounds() {
-    let generated = dblp_like(&PresetOptions { scale: 0.002, seed: 9, ..Default::default() });
+    let generated = dblp_like(&PresetOptions {
+        scale: 0.002,
+        seed: 9,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(10);
     let split = split_edges(&generated.graph, 0.15, &mut rng);
     let pcfg = PartitionConfig::paper_defaults(3, 5, 11);
@@ -98,10 +117,13 @@ fn global_model_parameters_stay_finite_across_rounds() {
         eval_negatives: 3,
         seed: 12,
         parallel: true,
-            privacy: None,
-            weighting: AggWeighting::Uniform,
+        privacy: None,
+        weighting: AggWeighting::Uniform,
     };
     let mut system = FlSystem::new(&split.train, &split.test, clients, cfg);
     let _ = FedAvg::vanilla().run(&mut system);
-    assert!(!system.global.has_non_finite(), "NaN/inf leaked into the global model");
+    assert!(
+        !system.global.has_non_finite(),
+        "NaN/inf leaked into the global model"
+    );
 }
