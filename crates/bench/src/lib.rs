@@ -8,9 +8,12 @@
 //! * `--runs <n>`      — repetitions (default 3; paper uses 5)
 //! * `--clients <n>`   — override the client count where applicable
 //! * `--seed <n>`      — base seed (default 0)
+//! * `--eval-every <n>`— evaluate every n rounds (default 1; the final
+//!   round always evaluates)
 //! * `--json <path>`   — also dump machine-readable results
 //! * `--quick`         — smallest settings (CI smoke)
 //! * `--paper`         — paper-like settings (5 runs, 40 rounds)
+//! * `--events`        — stream per-round driver events to stderr
 
 use fedda::experiment::{Dataset, ExperimentConfig};
 use fedda::hgn::{HgnConfig, TrainConfig};
@@ -24,6 +27,9 @@ pub struct Options {
     pub quick: bool,
     /// `--paper` present.
     pub paper: bool,
+    /// `--events` present: stream per-round [`fedda::fl::RoundEvent`]s to
+    /// stderr via [`fedda::fl::StderrSink`].
+    pub events: bool,
 }
 
 impl Options {
@@ -40,6 +46,7 @@ impl Options {
             match arg.as_str() {
                 "--quick" => out.quick = true,
                 "--paper" => out.paper = true,
+                "--events" => out.events = true,
                 flag if flag.starts_with("--") => {
                     let value = iter
                         .next()
@@ -110,6 +117,7 @@ pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
         runs: opts.get("runs").unwrap_or(if opts.paper { 5 } else { 3 }),
         model: experiment_model(opts.paper),
         train: experiment_train(),
+        eval_every: opts.get("eval-every").unwrap_or(1),
         seed: opts.get("seed").unwrap_or(0),
         ..Default::default()
     };
@@ -155,7 +163,23 @@ mod tests {
         assert_eq!(o.get::<usize>("runs"), Some(5));
         assert!(o.quick);
         assert!(!o.paper);
+        assert!(!o.events);
         assert_eq!(o.get::<u64>("seed"), None);
+    }
+
+    #[test]
+    fn eval_every_and_events_flags_flow_into_config() {
+        let o = Options::from_args(
+            ["--eval-every", "5", "--events"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(o.events);
+        let cfg = base_config(Dataset::DblpLike, &o);
+        assert_eq!(cfg.eval_every, 5);
+        // Default stays dense.
+        let cfg = base_config(Dataset::DblpLike, &Options::default());
+        assert_eq!(cfg.eval_every, 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use fedda::data::{
 };
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::analysis::{explore_ratio_bound, restart_period, restart_ratio, EfficiencyInputs};
-use fedda::fl::{FedAvg, FedDa};
+use fedda::fl::{FedAvg, FedDa, StderrSink};
 use fedda::hetgraph::io;
 use fedda::hetgraph::split::split_edges;
 use fedda_bench::{base_config, Options};
@@ -43,6 +43,7 @@ SUBCOMMANDS:
                   --dataset amazon|dblp  --framework global|local|fedavg|
                   fedda-restart|fedda-explore  [--clients <n>]  [--rounds <n>]
                   [--runs <n>]  [--scale <f64>]  [--seed <u64>]
+                  [--eval-every <n>]  [--events]
     efficiency  evaluate the Eqs. 8-11 communication model
                   --m <n> --n <n> --nd <n> --rc <f64> --rp <f64>
     help        print this message
@@ -186,7 +187,12 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
         cfg.scale
     );
     let exp = Experiment::new(cfg);
-    let res = exp.run_framework(&framework);
+    let res = if opts.events {
+        let mut sink = StderrSink;
+        exp.run_framework_with_sink(&framework, Some(&mut sink))
+    } else {
+        exp.run_framework(&framework)
+    };
     println!("final ROC-AUC : {}", res.final_auc.fmt_pm());
     println!("final MRR     : {}", res.final_mrr.fmt_pm());
     println!("best ROC-AUC  : {}", res.best_auc.fmt_pm());

@@ -6,7 +6,8 @@ use fedda_data::{
     PresetOptions,
 };
 use fedda_fl::{
-    baselines, AggWeighting, FedAvg, FedDa, FlConfig, FlSystem, PrivacyConfig, RunResult,
+    baselines, AggWeighting, EventSink, FedAvg, FedDa, FlConfig, FlProtocol, FlSystem,
+    GlobalProtocol, PrivacyConfig, RoundDriver,
 };
 use fedda_hetgraph::split::{split_edges, EdgeSplit};
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -64,6 +65,9 @@ pub struct ExperimentConfig {
     pub train: TrainConfig,
     /// Negatives per positive at evaluation time.
     pub eval_negatives: usize,
+    /// Evaluate every `eval_every` rounds (`FlConfig::eval_every`; the
+    /// final round is always evaluated).
+    pub eval_every: usize,
     /// Base seed; run `r` derives its own sub-seeds.
     pub seed: u64,
     /// Parallel client updates.
@@ -90,6 +94,7 @@ impl Default for ExperimentConfig {
                 ..Default::default()
             },
             eval_negatives: 5,
+            eval_every: 1,
             seed: 0,
             parallel: true,
             weighting: AggWeighting::Uniform,
@@ -112,24 +117,25 @@ pub enum Framework {
 }
 
 impl Framework {
-    /// Display name matching the paper's tables.
+    /// Display name matching the paper's tables (delegates to the
+    /// protocol's own name; `Local` is not a round protocol and names
+    /// itself).
     pub fn name(&self) -> String {
+        match self.protocol() {
+            Some(p) => p.name(),
+            None => "Local".into(),
+        }
+    }
+
+    /// A fresh per-run [`FlProtocol`] for this framework, or `None` for
+    /// `Local` (which has no round structure and runs outside the
+    /// [`RoundDriver`]).
+    pub fn protocol(&self) -> Option<Box<dyn FlProtocol>> {
         match self {
-            Framework::Global => "Global".into(),
-            Framework::Local => "Local".into(),
-            Framework::FedAvg(f) if f.client_fraction >= 1.0 && f.param_fraction >= 1.0 => {
-                "FedAvg".into()
-            }
-            Framework::FedAvg(f) => {
-                format!(
-                    "FedAvg(C={:.2},D={:.2})",
-                    f.client_fraction, f.param_fraction
-                )
-            }
-            Framework::FedDa(f) => match f.strategy {
-                fedda_fl::Reactivation::Restart { .. } => "FedDA 1 (Restart)".into(),
-                fedda_fl::Reactivation::Explore { .. } => "FedDA 2 (Explore)".into(),
-            },
+            Framework::Global => Some(Box::new(GlobalProtocol::new())),
+            Framework::Local => None,
+            Framework::FedAvg(f) => Some(Box::new(f.clone())),
+            Framework::FedDa(f) => Some(Box::new(f.protocol())),
         }
     }
 }
@@ -147,9 +153,10 @@ pub struct FrameworkResult {
     pub best_auc: MeanStd,
     /// Total uplink parameter units over runs (Table 3's measure).
     pub uplink_units: MeanStd,
-    /// Per-round AUC curves across runs (empty for `Local`).
+    /// Per-evaluation-point AUC curves across runs (empty for `Local`).
+    /// One point per evaluated round; dense when `eval_every == 1`.
     pub auc_curves: CurveRecorder,
-    /// Per-round MRR curves across runs (empty for `Local`).
+    /// Per-evaluation-point MRR curves across runs (empty for `Local`).
     pub mrr_curves: CurveRecorder,
 }
 
@@ -221,6 +228,7 @@ impl Experiment {
             model: self.cfg.model.clone(),
             train: self.cfg.train.clone(),
             eval_negatives: self.cfg.eval_negatives,
+            eval_every: self.cfg.eval_every,
             seed: self.run_seed(run),
             parallel: self.cfg.parallel,
             privacy: self.cfg.privacy,
@@ -231,6 +239,17 @@ impl Experiment {
 
     /// Run one framework across all configured runs and aggregate.
     pub fn run_framework(&self, framework: &Framework) -> FrameworkResult {
+        self.run_framework_with_sink(framework, None)
+    }
+
+    /// Like [`Experiment::run_framework`], streaming every round of every
+    /// run to `sink` when one is given (`Local` has no rounds and emits
+    /// nothing).
+    pub fn run_framework_with_sink(
+        &self,
+        framework: &Framework,
+        mut sink: Option<&mut dyn EventSink>,
+    ) -> FrameworkResult {
         let mut final_aucs = Vec::with_capacity(self.cfg.runs);
         let mut final_mrrs = Vec::with_capacity(self.cfg.runs);
         let mut best_aucs = Vec::with_capacity(self.cfg.runs);
@@ -239,24 +258,28 @@ impl Experiment {
         let mut mrr_curves = CurveRecorder::new();
         for run in 0..self.cfg.runs {
             let mut system = self.system_for_run(run);
-            match framework {
-                Framework::Local => {
+            match framework.protocol() {
+                None => {
                     let local = baselines::run_local_only(&system);
                     final_aucs.push(local.auc_summary().mean);
                     final_mrrs.push(local.mrr_summary().mean);
                     best_aucs.push(local.auc_summary().mean);
                     uplinks.push(0.0);
                 }
-                other => {
-                    let result: RunResult = match other {
-                        Framework::Global => baselines::run_global(&mut system),
-                        Framework::FedAvg(f) => f.run(&mut system),
-                        Framework::FedDa(f) => f.run(&mut system),
-                        Framework::Local => unreachable!(),
+                Some(mut protocol) => {
+                    let mut driver = match sink.as_deref_mut() {
+                        Some(s) => RoundDriver::with_sink(s),
+                        None => RoundDriver::new(),
                     };
-                    for eval in &result.curve {
-                        auc_curves.record(run, eval.round, eval.roc_auc);
-                        mrr_curves.record(run, eval.round, eval.mrr);
+                    let result = driver
+                        .run(protocol.as_mut(), &mut system)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    // Record by evaluation-point position, not round number:
+                    // with a sparse `eval_every` cadence the evaluated rounds
+                    // are not consecutive.
+                    for (t, eval) in result.curve.iter().enumerate() {
+                        auc_curves.record(run, t, eval.roc_auc);
+                        mrr_curves.record(run, t, eval.mrr);
                     }
                     final_aucs.push(result.final_eval.roc_auc);
                     final_mrrs.push(result.final_eval.mrr);
@@ -301,6 +324,7 @@ mod tests {
                 ..Default::default()
             },
             eval_negatives: 2,
+            eval_every: 1,
             seed: 7,
             parallel: true,
             iid: false,
@@ -329,6 +353,20 @@ mod tests {
         assert_eq!(res.auc_curves.num_rounds(), 2);
         assert!(res.uplink_units.mean > 0.0);
         assert_eq!(res.name, "FedAvg");
+    }
+
+    #[test]
+    fn sparse_eval_cadence_records_compact_curves() {
+        let mut cfg = quick_cfg();
+        cfg.rounds = 3;
+        cfg.eval_every = 2;
+        let exp = Experiment::new(cfg);
+        let res = exp.run_framework(&Framework::FedAvg(FedAvg::vanilla()));
+        // Rounds 1 and 2 are evaluated (cadence hit + final round), so the
+        // recorder holds two non-consecutive rounds as two sequential points.
+        assert_eq!(res.auc_curves.num_runs(), 2);
+        assert_eq!(res.auc_curves.num_rounds(), 2);
+        assert_eq!(res.final_auc.n, 2);
     }
 
     #[test]

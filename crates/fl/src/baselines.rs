@@ -1,48 +1,127 @@
 //! Non-federated baselines: `Global` (centralised training on the whole
 //! training graph — the paper's upper bound) and `Local` (each client
 //! trains alone — the lower bound; scores are averaged over clients).
+//!
+//! `Global` is a round protocol — one outer step per round, evaluated on
+//! the shared cadence — so it runs under the same
+//! [`RoundDriver`] as the federated protocols via
+//! [`GlobalProtocol`]: it selects no clients (its comm log stays empty) and
+//! does all its training in the post-aggregation hook, directly on
+//! `system.global`. `Local` has no round structure (clients never
+//! communicate, models are only scored at the end) and stays a plain
+//! function.
 
-use crate::system::{FlSystem, RoundEval, RunResult};
-use fedda_hetgraph::LinkSampler;
-use fedda_hgn::train_local;
+use crate::driver::RoundDriver;
+use crate::protocol::{FlProtocol, StepOutcome};
+use crate::system::{ClientReturn, FlSystem, RunResult};
+use fedda_hetgraph::{HeteroGraph, LinkExample, LinkSampler};
+use fedda_hgn::{train_local, GraphView, TrainConfig};
 use fedda_metrics::MeanStd;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Train the model centrally on the global training graph for
 /// `system.config().rounds` outer steps (each of `E` local epochs, to match
-/// the federated compute budget), evaluating after each.
+/// the federated compute budget), evaluating on the configured cadence.
 pub fn run_global(system: &mut FlSystem) -> RunResult {
-    let mut result = RunResult::default();
-    let cfg = system.config().clone();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x61_0B_A1);
-    // The "server" trains directly on the evaluation (global training)
-    // graph: rebuild the pieces the clients normally own.
-    let graph = system.eval_graph().clone();
-    let view = fedda_hgn::GraphView::new(&graph, system.model.uses_self_loops());
-    let sampler = LinkSampler::new(&graph);
-    let positives = sampler.all_positives();
-    let mut params = system.global.clone();
-    for round in 0..cfg.rounds {
+    RoundDriver::new()
+        .run(&mut GlobalProtocol::new(), system)
+        .expect("the Global baseline has no invalid configurations")
+}
+
+/// The centralised "server trains alone" pieces, cloned out of the system
+/// once per run (the sampler borrows the graph, so it is rebuilt per round).
+struct GlobalState {
+    graph: HeteroGraph,
+    view: GraphView,
+    positives: Vec<LinkExample>,
+    train: TrainConfig,
+}
+
+/// The `Global` upper bound as an [`FlProtocol`]: no clients, no masks, no
+/// communication — one centralised training step per round in
+/// [`post_aggregate`](FlProtocol::post_aggregate).
+pub struct GlobalProtocol {
+    state: Option<GlobalState>,
+}
+
+impl GlobalProtocol {
+    /// A fresh per-run instance (state is cloned from the system in
+    /// `begin`).
+    pub fn new() -> Self {
+        Self { state: None }
+    }
+}
+
+impl Default for GlobalProtocol {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlProtocol for GlobalProtocol {
+    fn name(&self) -> String {
+        "Global".into()
+    }
+
+    fn seed_tweak(&self) -> u64 {
+        0x61_0B_A1
+    }
+
+    fn begin(&mut self, system: &FlSystem, _rng: &mut StdRng) {
+        // The "server" trains directly on the evaluation (global training)
+        // graph: rebuild the pieces the clients normally own.
+        let graph = system.eval_graph().clone();
+        let view = GraphView::new(&graph, system.model.uses_self_loops());
+        let positives = LinkSampler::new(&graph).all_positives();
+        self.state = Some(GlobalState {
+            graph,
+            view,
+            positives,
+            train: system.config().train.clone(),
+        });
+    }
+
+    fn select_clients(
+        &mut self,
+        _system: &FlSystem,
+        _round: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn build_masks(
+        &mut self,
+        _system: &FlSystem,
+        _active: &[usize],
+        _round: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<Vec<bool>> {
+        Vec::new()
+    }
+
+    fn post_aggregate(
+        &mut self,
+        system: &mut FlSystem,
+        _active: &[usize],
+        _returns: &[ClientReturn],
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let state = self.state.as_ref().expect("begin() initialises the state");
+        let sampler = LinkSampler::new(&state.graph);
         train_local(
             system.model.as_ref(),
-            &mut params,
-            &view,
+            &mut system.global,
+            &state.view,
             &sampler,
-            &positives,
-            &cfg.train,
-            &mut rng,
+            &state.positives,
+            &state.train,
+            rng,
         );
-        let eval = system.evaluate_params(&params, round);
-        result.curve.push(RoundEval {
-            round,
-            roc_auc: eval.roc_auc,
-            mrr: eval.mrr,
-        });
-        result.final_eval = eval;
+        StepOutcome::default()
     }
-    system.global = params;
-    result
 }
 
 /// Per-client local-only result.

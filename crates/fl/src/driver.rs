@@ -1,0 +1,180 @@
+//! The shared round loop every protocol runs on.
+//!
+//! [`RoundDriver::run`] owns the canonical federated round — broadcast to
+//! the selected clients, parallel local updates, masked aggregation
+//! (Eq. 6), communication accounting, activation tracing, the evaluation
+//! cadence (`FlConfig::eval_every`) and structured [`RoundEvent`] emission
+//! — while the [`FlProtocol`] hooks decide selection, masks and activation
+//! dynamics. FedAvg, both FedDA strategies and the `Global` baseline all
+//! execute through this loop; their seeded behaviour is pinned bit-for-bit
+//! by the `golden_curves` regression tests.
+
+use crate::events::{EventSink, RoundEvent};
+use crate::protocol::FlProtocol;
+use crate::system::{ActivationSnapshot, FlSystem, RoundEval, RunResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Executes an [`FlProtocol`] over an [`FlSystem`], optionally streaming
+/// per-round [`RoundEvent`]s to an [`EventSink`].
+#[derive(Default)]
+pub struct RoundDriver<'a> {
+    sink: Option<&'a mut dyn EventSink>,
+}
+
+impl<'a> RoundDriver<'a> {
+    /// Driver without an event sink.
+    pub fn new() -> Self {
+        Self { sink: None }
+    }
+
+    /// Driver that emits every round's [`RoundEvent`] to `sink`.
+    pub fn with_sink(sink: &'a mut dyn EventSink) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Run `system.config().rounds` rounds of `protocol`.
+    ///
+    /// Calls `protocol.validate()` before round 0 and returns its error
+    /// without touching the system if the configuration is invalid.
+    pub fn run(
+        &mut self,
+        protocol: &mut dyn FlProtocol,
+        system: &mut FlSystem,
+    ) -> Result<RunResult, String> {
+        protocol
+            .validate()
+            .map_err(|e| format!("invalid {} configuration: {e}", protocol.name()))?;
+        let rounds = system.config().rounds;
+        let eval_every = system.config().eval_every.max(1);
+        let mut rng = StdRng::seed_from_u64(system.config().seed ^ protocol.seed_tweak());
+        protocol.begin(system, &mut rng);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.begin_run(&protocol.name(), rounds);
+        }
+
+        let mut result = RunResult::default();
+        for round in 0..rounds {
+            let started = Instant::now();
+            let active = protocol.select_clients(system, round, &mut rng);
+            let masks = protocol.build_masks(system, &active, round, &mut rng);
+            debug_assert_eq!(masks.len(), active.len(), "one mask per active client");
+            let mask_density = mean_mask_density(&masks);
+            let returns = system.run_local_round(&active, round);
+            system.aggregate_masked(&returns, &masks);
+            let comm = system.round_comm(&masks);
+            // Protocols that activate no one (the Global baseline) keep an
+            // empty comm log, matching their pre-driver behaviour.
+            if !active.is_empty() {
+                result.comm.push(comm);
+            }
+            let outcome = protocol.post_aggregate(system, &active, &returns, round, &mut rng);
+            if protocol.traces_activation() {
+                result.activation_trace.push(ActivationSnapshot {
+                    active_clients: active.clone(),
+                    mask_density,
+                    deactivated: outcome.deactivated.clone(),
+                    reactivated: outcome.reactivated.clone(),
+                    restarted: outcome.restarted,
+                });
+            }
+            let eval = if (round + 1) % eval_every == 0 || round + 1 == rounds {
+                let eval = system.evaluate_global(round);
+                let point = RoundEval {
+                    round,
+                    roc_auc: eval.roc_auc,
+                    mrr: eval.mrr,
+                };
+                result.curve.push(point);
+                result.final_eval = eval;
+                Some(point)
+            } else {
+                None
+            };
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.on_round(&RoundEvent {
+                    round,
+                    active_clients: active,
+                    mask_density,
+                    comm,
+                    deactivated: outcome.deactivated,
+                    reactivated: outcome.reactivated,
+                    restarted: outcome.restarted,
+                    eval,
+                    wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                });
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Mean fraction of requested units per mask; `0.0` for an empty mask set.
+fn mean_mask_density(masks: &[Vec<bool>]) -> f64 {
+    if masks.is_empty() {
+        return 0.0;
+    }
+    masks
+        .iter()
+        .map(|m| {
+            if m.is_empty() {
+                0.0
+            } else {
+                m.iter().filter(|&&b| b).count() as f64 / m.len() as f64
+            }
+        })
+        .sum::<f64>()
+        / masks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::MemorySink;
+    use crate::system::tests::tiny_system;
+    use crate::FedAvg;
+
+    #[test]
+    fn mask_density_handles_edge_cases() {
+        assert_eq!(mean_mask_density(&[]), 0.0);
+        assert_eq!(mean_mask_density(&[vec![]]), 0.0);
+        assert_eq!(
+            mean_mask_density(&[vec![true, false], vec![true, true]]),
+            0.75
+        );
+    }
+
+    #[test]
+    fn driver_rejects_invalid_protocols_before_touching_the_system() {
+        let mut sys = tiny_system(2, 40);
+        let before = sys.global.flatten();
+        let mut bad = FedAvg {
+            client_fraction: 0.0,
+            param_fraction: 1.0,
+        };
+        let err = RoundDriver::new().run(&mut bad, &mut sys).unwrap_err();
+        assert!(err.contains("client_fraction"), "unexpected error: {err}");
+        assert_eq!(sys.global.flatten(), before, "system must be untouched");
+    }
+
+    #[test]
+    fn driver_emits_one_event_per_round() {
+        let mut sys = tiny_system(3, 41);
+        let mut sink = MemorySink::new();
+        let result = RoundDriver::with_sink(&mut sink)
+            .run(&mut FedAvg::vanilla(), &mut sys)
+            .unwrap();
+        let rounds = sys.config().rounds;
+        assert_eq!(sink.runs, vec![("FedAvg".to_string(), rounds)]);
+        assert_eq!(sink.events.len(), rounds);
+        for (i, (event, rc)) in sink.events.iter().zip(result.comm.rounds()).enumerate() {
+            assert_eq!(event.round, i);
+            assert_eq!(event.active_clients, vec![0, 1, 2]);
+            assert_eq!(event.mask_density, 1.0);
+            assert_eq!(&event.comm, rc);
+            assert!(event.eval.is_some(), "eval_every=1 evaluates every round");
+            assert!(event.wall_ms >= 0.0);
+        }
+    }
+}

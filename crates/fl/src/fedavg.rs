@@ -5,13 +5,20 @@
 //! `C = D = 1` is vanilla FedAvg: every round broadcasts the global model
 //! to all clients, runs `E` local epochs everywhere, and averages all
 //! returned parameters uniformly (Eqs. 4–5, `p_i = 1/M`).
+//!
+//! FedAvg is stateless between rounds, so the config struct itself
+//! implements [`FlProtocol`]: selection is a seeded shuffle, masks are
+//! either full or random at density `D`, and there is no post-aggregation
+//! bookkeeping.
 
-use crate::system::{FlSystem, RoundEval, RunResult};
+use crate::driver::RoundDriver;
+use crate::protocol::FlProtocol;
+use crate::system::{FlSystem, RunResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
-/// FedAvg protocol driver.
+/// FedAvg protocol configuration (and, being stateless, the
+/// [`FlProtocol`] implementation itself).
 #[derive(Clone, Debug)]
 pub struct FedAvg {
     /// Fraction of clients randomly activated each round (Fig. 2's `C`).
@@ -36,47 +43,86 @@ impl FedAvg {
         Self::default()
     }
 
-    /// FedAvg with random partial activation.
+    /// FedAvg with random partial activation. Out-of-range fractions are
+    /// reported by [`validate`](FlProtocol::validate) (which the driver
+    /// calls before round 0), not panicked on here.
     pub fn with_fractions(client_fraction: f64, param_fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&client_fraction) && client_fraction > 0.0);
-        assert!((0.0..=1.0).contains(&param_fraction) && param_fraction > 0.0);
         Self {
             client_fraction,
             param_fraction,
         }
     }
 
-    /// Run `cfg.rounds` rounds, evaluating the global model after each.
+    /// Run `cfg.rounds` rounds through the shared [`RoundDriver`],
+    /// evaluating the global model on the `FlConfig::eval_every` cadence.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration (see [`validate`](FlProtocol::validate));
+    /// use the driver directly to handle the error.
     pub fn run(&self, system: &mut FlSystem) -> RunResult {
-        let mut result = RunResult::default();
-        let m = system.num_clients();
-        let rounds = system.config().rounds;
-        let mut rng = StdRng::seed_from_u64(system.config().seed ^ 0xFEDA_A0A0);
-        let active_per_round = ((m as f64) * self.client_fraction).round().max(1.0) as usize;
-        for round in 0..rounds {
-            let mut order: Vec<usize> = (0..m).collect();
-            order.shuffle(&mut rng);
-            let mut active = order[..active_per_round.min(m)].to_vec();
-            active.sort_unstable();
-            let returns = system.run_local_round(&active, round);
-            let masks: Vec<Vec<bool>> = if self.param_fraction >= 1.0 {
-                system.full_masks(active.len())
-            } else {
-                (0..active.len())
-                    .map(|_| system.random_mask(self.param_fraction, &mut rng))
-                    .collect()
-            };
-            system.aggregate_masked(&returns, &masks);
-            result.comm.push(system.round_comm(&masks));
-            let eval = system.evaluate_global(round);
-            result.curve.push(RoundEval {
-                round,
-                roc_auc: eval.roc_auc,
-                mrr: eval.mrr,
-            });
-            result.final_eval = eval;
+        RoundDriver::new()
+            .run(&mut self.clone(), system)
+            .expect("invalid FedAvg configuration")
+    }
+}
+
+impl FlProtocol for FedAvg {
+    fn name(&self) -> String {
+        if self.client_fraction >= 1.0 && self.param_fraction >= 1.0 {
+            "FedAvg".into()
+        } else {
+            format!(
+                "FedAvg(C={:.2},D={:.2})",
+                self.client_fraction, self.param_fraction
+            )
         }
-        result
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.client_fraction > 0.0 && self.client_fraction <= 1.0) {
+            return Err(format!(
+                "client_fraction must be in (0,1], got {}",
+                self.client_fraction
+            ));
+        }
+        if !(self.param_fraction > 0.0 && self.param_fraction <= 1.0) {
+            return Err(format!(
+                "param_fraction must be in (0,1], got {}",
+                self.param_fraction
+            ));
+        }
+        Ok(())
+    }
+
+    fn seed_tweak(&self) -> u64 {
+        0xFEDA_A0A0
+    }
+
+    fn select_clients(&mut self, system: &FlSystem, _round: usize, rng: &mut StdRng) -> Vec<usize> {
+        let m = system.num_clients();
+        let take = ((m as f64) * self.client_fraction).round().max(1.0) as usize;
+        let mut order: Vec<usize> = (0..m).collect();
+        order.shuffle(rng);
+        let mut active = order[..take.min(m)].to_vec();
+        active.sort_unstable();
+        active
+    }
+
+    fn build_masks(
+        &mut self,
+        system: &FlSystem,
+        active: &[usize],
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<bool>> {
+        if self.param_fraction >= 1.0 {
+            system.full_masks(active.len())
+        } else {
+            (0..active.len())
+                .map(|_| system.random_mask(self.param_fraction, rng))
+                .collect()
+        }
     }
 }
 
@@ -134,8 +180,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_client_fraction_rejected() {
-        let _ = FedAvg::with_fractions(0.0, 1.0);
+    fn out_of_range_fractions_fail_validation() {
+        assert!(FedAvg::with_fractions(0.0, 1.0).validate().is_err());
+        assert!(FedAvg::with_fractions(1.0, 0.0).validate().is_err());
+        assert!(FedAvg::with_fractions(1.5, 1.0).validate().is_err());
+        assert!(FedAvg::with_fractions(1.0, f64::NAN).validate().is_err());
+        assert!(FedAvg::with_fractions(0.5, 0.5).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FedAvg configuration")]
+    fn zero_client_fraction_rejected_before_round_zero() {
+        let mut sys = tiny_system(2, 15);
+        let _ = FedAvg::with_fractions(0.0, 1.0).run(&mut sys);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        use crate::protocol::FlProtocol;
+        assert_eq!(FedAvg::vanilla().name(), "FedAvg");
+        assert_eq!(
+            FedAvg::with_fractions(0.8, 1.0).name(),
+            "FedAvg(C=0.80,D=1.00)"
+        );
     }
 }

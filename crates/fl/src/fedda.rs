@@ -17,11 +17,17 @@
 //!    resets everything when fewer than `β_r · M` clients remain, `Explore`
 //!    (Alg. 3) tops the active set back up to `β_e · M` with randomly
 //!    chosen deactivated clients, skipping those deactivated this round.
+//!
+//! Steps 1–3 are the shared round loop owned by
+//! [`RoundDriver`](crate::RoundDriver); steps 4–6 are FedDA's
+//! [`FlProtocol`] hooks, implemented on [`FedDaProtocol`] (the per-run
+//! state machine [`FedDa::protocol`] creates).
 
-use crate::system::{ClientReturn, FlSystem, RoundEval, RunResult};
+use crate::driver::RoundDriver;
+use crate::protocol::{FlProtocol, StepOutcome};
+use crate::system::{ClientReturn, FlSystem, RunResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Client reactivation strategy (§5.2).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -108,7 +114,7 @@ fn quantile(values: &[f32], q: f64) -> f32 {
     }
 }
 
-/// FedDA protocol driver.
+/// FedDA hyper-parameters.
 ///
 /// ```no_run
 /// use fedda_fl::{FedDa, MaskRule, Reactivation};
@@ -183,130 +189,30 @@ impl FedDa {
         Ok(())
     }
 
-    /// Run `cfg.rounds` rounds of FedDA.
-    pub fn run(&self, system: &mut FlSystem) -> RunResult {
-        self.validate().expect("invalid FedDA configuration");
-        let m = system.num_clients();
-        let n = system.num_units();
-        let rounds = system.config().rounds;
-        let disentangled: Vec<bool> = {
-            let ids = system.disentangled_ids();
-            let mut v = vec![false; n];
-            for id in ids {
-                v[id.index()] = true;
-            }
-            v
-        };
-        let n_d = disentangled.iter().filter(|&&d| d).count();
-        let mut rng = StdRng::seed_from_u64(system.config().seed ^ 0xDA_DA_DA);
-
-        // D_A^(0) = D, I^(0) = 1 (Algorithm 1 initialisation).
-        let mut active = vec![true; m];
-        let mut masks: Vec<Vec<bool>> = vec![vec![true; n]; m];
-        let mut result = RunResult::default();
-
-        for round in 0..rounds {
-            let active_list: Vec<usize> = (0..m).filter(|&i| active[i]).collect();
-            debug_assert!(!active_list.is_empty(), "active set must never be empty");
-            let mask_density = active_list
-                .iter()
-                .map(|&i| masks[i].iter().filter(|&&b| b).count() as f64 / n as f64)
-                .sum::<f64>()
-                / active_list.len() as f64;
-            let mut snapshot = crate::system::ActivationSnapshot {
-                active_clients: active_list.clone(),
-                mask_density,
-                ..Default::default()
-            };
-            let returns = system.run_local_round(&active_list, round);
-            let round_masks: Vec<Vec<bool>> =
-                active_list.iter().map(|&i| masks[i].clone()).collect();
-            system.aggregate_masked(&returns, &round_masks);
-            result.comm.push(system.round_comm(&round_masks));
-
-            // Step 4: per-unit mask update for disentangled units.
-            self.update_masks(system, &returns, &mut masks, &disentangled);
-
-            // Step 5: deactivate under-occupied clients.
-            let mut just_deactivated = Vec::new();
-            if n_d > 0 {
-                for &i in &active_list {
-                    let kept = masks[i]
-                        .iter()
-                        .zip(&disentangled)
-                        .filter(|&(&mk, &d)| d && mk)
-                        .count();
-                    if (kept as f64) < self.alpha * n_d as f64 {
-                        active[i] = false;
-                        just_deactivated.push(i);
-                    }
-                }
-            }
-            snapshot.deactivated = just_deactivated.clone();
-
-            // Step 6: reactivation.
-            match self.strategy {
-                Reactivation::Restart { beta_r } => {
-                    let n_active = active.iter().filter(|&&a| a).count();
-                    if (n_active as f64) < beta_r * m as f64 {
-                        snapshot.restarted = true;
-                        snapshot.reactivated = (0..m).filter(|&i| !active[i]).collect();
-                        active.iter_mut().for_each(|a| *a = true);
-                        for mask in &mut masks {
-                            mask.iter_mut().for_each(|b| *b = true);
-                        }
-                    }
-                }
-                Reactivation::Explore { beta_e } => {
-                    let target = ((beta_e * m as f64).round() as usize).clamp(1, m);
-                    let n_active = active.iter().filter(|&&a| a).count();
-                    if n_active < target {
-                        let mut pool: Vec<usize> = (0..m)
-                            .filter(|&i| {
-                                let cooling =
-                                    self.explore_cooldown && just_deactivated.contains(&i);
-                                !active[i] && !cooling
-                            })
-                            .collect();
-                        pool.shuffle(&mut rng);
-                        for &i in pool.iter().take(target - n_active) {
-                            active[i] = true;
-                            masks[i].iter_mut().for_each(|b| *b = true);
-                            snapshot.reactivated.push(i);
-                        }
-                    }
-                }
-            }
-            // Safety net: never enter a round with an empty active set
-            // (possible when alpha is aggressive and beta small — e.g.
-            // Explore with cool-down, where every candidate in the pool was
-            // deactivated this very round). The full reset is a restart, and
-            // the trace must say so: without recording it, the next round's
-            // snapshot would show clients active that were never listed as
-            // reactivated.
-            if active.iter().all(|&a| !a) {
-                snapshot.restarted = true;
-                for i in 0..m {
-                    if !snapshot.reactivated.contains(&i) {
-                        snapshot.reactivated.push(i);
-                    }
-                }
-                active.iter_mut().for_each(|a| *a = true);
-                for mask in &mut masks {
-                    mask.iter_mut().for_each(|b| *b = true);
-                }
-            }
-
-            result.activation_trace.push(snapshot);
-            let eval = system.evaluate_global(round);
-            result.curve.push(RoundEval {
-                round,
-                roc_auc: eval.roc_auc,
-                mrr: eval.mrr,
-            });
-            result.final_eval = eval;
+    /// A fresh per-run [`FlProtocol`] state machine for these
+    /// hyper-parameters (state is sized in `begin`, so one instance serves
+    /// exactly one [`RoundDriver::run`]).
+    pub fn protocol(&self) -> FedDaProtocol {
+        FedDaProtocol {
+            cfg: self.clone(),
+            active: Vec::new(),
+            masks: Vec::new(),
+            disentangled: Vec::new(),
+            n_d: 0,
         }
-        result
+    }
+
+    /// Run `cfg.rounds` rounds of FedDA through the shared
+    /// [`RoundDriver`].
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration (see [`FedDa::validate`]); use the
+    /// driver directly to handle the error.
+    pub fn run(&self, system: &mut FlSystem) -> RunResult {
+        RoundDriver::new()
+            .run(&mut self.protocol(), system)
+            .expect("invalid FedDA configuration")
     }
 
     /// Step 4 of the round: update request masks from the returned
@@ -363,6 +269,169 @@ impl FedDa {
                 }
             }
         }
+    }
+}
+
+/// FedDA's per-run [`FlProtocol`] state machine: the activation flags and
+/// request masks `D_A^(t)` / `I^(t)` of Algorithm 1, evolved by the
+/// post-aggregation hook. Created by [`FedDa::protocol`].
+pub struct FedDaProtocol {
+    cfg: FedDa,
+    /// `D_A^(t)`: which clients are activated for the next round.
+    active: Vec<bool>,
+    /// `I^(t)`: per-client request masks for the next round.
+    masks: Vec<Vec<bool>>,
+    /// Per-unit flag: is the unit disentangled (`k ∈ [N_d]`)?
+    disentangled: Vec<bool>,
+    /// `N_d`.
+    n_d: usize,
+}
+
+impl FlProtocol for FedDaProtocol {
+    fn name(&self) -> String {
+        match self.cfg.strategy {
+            Reactivation::Restart { .. } => "FedDA 1 (Restart)".into(),
+            Reactivation::Explore { .. } => "FedDA 2 (Explore)".into(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.cfg.validate()
+    }
+
+    fn seed_tweak(&self) -> u64 {
+        0xDA_DA_DA
+    }
+
+    fn traces_activation(&self) -> bool {
+        true
+    }
+
+    fn begin(&mut self, system: &FlSystem, _rng: &mut StdRng) {
+        let m = system.num_clients();
+        let n = system.num_units();
+        self.disentangled = {
+            let ids = system.disentangled_ids();
+            let mut v = vec![false; n];
+            for id in ids {
+                v[id.index()] = true;
+            }
+            v
+        };
+        self.n_d = self.disentangled.iter().filter(|&&d| d).count();
+        // D_A^(0) = D, I^(0) = 1 (Algorithm 1 initialisation).
+        self.active = vec![true; m];
+        self.masks = vec![vec![true; n]; m];
+    }
+
+    fn select_clients(
+        &mut self,
+        system: &FlSystem,
+        _round: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let active: Vec<usize> = (0..system.num_clients())
+            .filter(|&i| self.active[i])
+            .collect();
+        debug_assert!(!active.is_empty(), "active set must never be empty");
+        active
+    }
+
+    fn build_masks(
+        &mut self,
+        _system: &FlSystem,
+        active: &[usize],
+        _round: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<Vec<bool>> {
+        active.iter().map(|&i| self.masks[i].clone()).collect()
+    }
+
+    fn post_aggregate(
+        &mut self,
+        system: &mut FlSystem,
+        active: &[usize],
+        returns: &[ClientReturn],
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let m = system.num_clients();
+        let mut outcome = StepOutcome::default();
+
+        // Step 4: per-unit mask update for disentangled units.
+        self.cfg
+            .update_masks(system, returns, &mut self.masks, &self.disentangled);
+
+        // Step 5: deactivate under-occupied clients.
+        let mut just_deactivated = Vec::new();
+        if self.n_d > 0 {
+            for &i in active {
+                let kept = self.masks[i]
+                    .iter()
+                    .zip(&self.disentangled)
+                    .filter(|&(&mk, &d)| d && mk)
+                    .count();
+                if (kept as f64) < self.cfg.alpha * self.n_d as f64 {
+                    self.active[i] = false;
+                    just_deactivated.push(i);
+                }
+            }
+        }
+        outcome.deactivated = just_deactivated.clone();
+
+        // Step 6: reactivation.
+        match self.cfg.strategy {
+            Reactivation::Restart { beta_r } => {
+                let n_active = self.active.iter().filter(|&&a| a).count();
+                if (n_active as f64) < beta_r * m as f64 {
+                    outcome.restarted = true;
+                    outcome.reactivated = (0..m).filter(|&i| !self.active[i]).collect();
+                    self.active.iter_mut().for_each(|a| *a = true);
+                    for mask in &mut self.masks {
+                        mask.iter_mut().for_each(|b| *b = true);
+                    }
+                }
+            }
+            Reactivation::Explore { beta_e } => {
+                let target = ((beta_e * m as f64).round() as usize).clamp(1, m);
+                let n_active = self.active.iter().filter(|&&a| a).count();
+                if n_active < target {
+                    let mut pool: Vec<usize> = (0..m)
+                        .filter(|&i| {
+                            let cooling =
+                                self.cfg.explore_cooldown && just_deactivated.contains(&i);
+                            !self.active[i] && !cooling
+                        })
+                        .collect();
+                    pool.shuffle(rng);
+                    for &i in pool.iter().take(target - n_active) {
+                        self.active[i] = true;
+                        self.masks[i].iter_mut().for_each(|b| *b = true);
+                        outcome.reactivated.push(i);
+                    }
+                }
+            }
+        }
+        // Safety net: never enter a round with an empty active set
+        // (possible when alpha is aggressive and beta small — e.g.
+        // Explore with cool-down, where every candidate in the pool was
+        // deactivated this very round). The full reset is a restart, and
+        // the trace must say so: without recording it, the next round's
+        // snapshot would show clients active that were never listed as
+        // reactivated.
+        if self.active.iter().all(|&a| !a) {
+            outcome.restarted = true;
+            for i in 0..m {
+                if !outcome.reactivated.contains(&i) {
+                    outcome.reactivated.push(i);
+                }
+            }
+            self.active.iter_mut().for_each(|a| *a = true);
+            for mask in &mut self.masks {
+                mask.iter_mut().for_each(|b| *b = true);
+            }
+        }
+        outcome
     }
 }
 
@@ -594,5 +663,12 @@ mod tests {
             assert_eq!(a.roc_auc, b.roc_auc);
         }
         assert_eq!(r1.comm.total_uplink_units(), r2.comm.total_uplink_units());
+    }
+
+    #[test]
+    fn protocol_names_match_the_paper() {
+        use crate::protocol::FlProtocol;
+        assert_eq!(FedDa::restart().protocol().name(), "FedDA 1 (Restart)");
+        assert_eq!(FedDa::explore().protocol().name(), "FedDA 2 (Explore)");
     }
 }

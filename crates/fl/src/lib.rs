@@ -16,6 +16,12 @@
 //! * [`baselines`] — centralised `Global` and isolated `Local` training;
 //! * [`analysis`] — the closed-form efficiency model of §5.4.3
 //!   (Eqs. 8–11).
+//!
+//! Every round protocol implements [`FlProtocol`] and executes on the
+//! shared [`RoundDriver`] — the single canonical round loop (broadcast,
+//! parallel local round, masked aggregation, comm accounting, evaluation
+//! cadence) with structured per-round [`RoundEvent`]s streamed to a
+//! pluggable [`EventSink`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,13 +29,20 @@
 pub mod analysis;
 pub mod baselines;
 mod comm;
+mod driver;
+mod events;
 mod fedavg;
 mod fedda;
+mod protocol;
 mod system;
 
+pub use baselines::GlobalProtocol;
 pub use comm::{CommLog, RoundComm};
+pub use driver::RoundDriver;
+pub use events::{EventSink, MemorySink, RoundEvent, StderrSink};
 pub use fedavg::FedAvg;
-pub use fedda::{FedDa, MaskRule, Reactivation};
+pub use fedda::{FedDa, FedDaProtocol, MaskRule, Reactivation};
+pub use protocol::{FlProtocol, StepOutcome};
 pub use system::{
     ActivationSnapshot, AggWeighting, Client, ClientReturn, FlConfig, FlSystem, PrivacyConfig,
     RoundEval, RunResult,

@@ -1,0 +1,119 @@
+//! The protocol-engine seam: [`FlProtocol`] is the set of hooks a federated
+//! algorithm plugs into the shared [`RoundDriver`](crate::RoundDriver).
+//!
+//! Every algorithm in the reproduction used to hand-roll its own round loop
+//! over [`FlSystem`]; the driver now owns the canonical loop (broadcast,
+//! local round, masked aggregation per Eq. 6, comm accounting, evaluation
+//! cadence, event emission) and a protocol only decides *who* participates
+//! ([`select_clients`](FlProtocol::select_clients)), *which units* each
+//! participant returns ([`build_masks`](FlProtocol::build_masks)) and *how
+//! activation state evolves* after aggregation
+//! ([`post_aggregate`](FlProtocol::post_aggregate)). A new protocol
+//! (FedProx-style regularisation, a different reactivation rule, …) is one
+//! trait impl — not a fourth copied loop.
+//!
+//! # RNG stream derivation rules
+//!
+//! Determinism is load-bearing: seeded runs must be bit-identical across
+//! refactors, and protocols sharing a `FlConfig::seed` must stay
+//! comparable. The rules:
+//!
+//! * the driver owns a single `StdRng` seeded with
+//!   `cfg.seed ^ protocol.seed_tweak()` — each protocol picks a distinct
+//!   tweak so its decision stream never collides with model init
+//!   (`cfg.seed`), client streams (`client_seeds`), or evaluation
+//!   (`cfg.seed ^ 0xEAE5 ^ round·31`);
+//! * hooks draw from that RNG **only** through the arguments they are
+//!   given, in hook order (`begin`, then per round `select_clients` →
+//!   `build_masks` → `post_aggregate`; the local round between masks and
+//!   aggregation is the driver's and consumes no protocol randomness) —
+//!   never stash a clone;
+//! * hooks that need no randomness must not draw (FedDA's selection and
+//!   masks are deterministic functions of its activation state; only its
+//!   `Explore` reactivation draws).
+//!
+//! Existing tweaks: FedAvg `0xFEDA_A0A0`, FedDA `0xDA_DA_DA`, Global
+//! `0x61_0B_A1`.
+
+use crate::system::{ClientReturn, FlSystem};
+use rand::rngs::StdRng;
+
+/// What a protocol's [`post_aggregate`](FlProtocol::post_aggregate) hook
+/// reports back to the driver: the activation changes of the round.
+/// Protocols without dynamic activation return
+/// [`StepOutcome::default()`].
+#[derive(Clone, Debug, Default)]
+pub struct StepOutcome {
+    /// Clients deactivated during the round.
+    pub deactivated: Vec<usize>,
+    /// Clients reactivated during the round.
+    pub reactivated: Vec<usize>,
+    /// Whether a full activation reset fired.
+    pub restarted: bool,
+}
+
+/// Hooks a federated algorithm implements to run under the shared
+/// [`RoundDriver`](crate::RoundDriver).
+///
+/// Implementations are per-run state machines: the driver calls
+/// [`begin`](FlProtocol::begin) exactly once before round 0, then the
+/// per-round hooks in a fixed order. Reuse across runs requires a fresh
+/// instance (see `FedDa::protocol` / `Framework::protocol`).
+pub trait FlProtocol {
+    /// Display name matching the paper's tables (e.g. `"FedAvg"`,
+    /// `"FedDA 2 (Explore)"`).
+    fn name(&self) -> String;
+
+    /// Check hyper-parameters. The driver calls this before round 0 and
+    /// refuses to run on `Err`.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// XOR tweak applied to `FlConfig::seed` to derive this protocol's
+    /// RNG stream (see the module docs for the derivation rules).
+    fn seed_tweak(&self) -> u64 {
+        0
+    }
+
+    /// Whether the driver should record per-round
+    /// [`ActivationSnapshot`](crate::ActivationSnapshot)s into
+    /// `RunResult::activation_trace` (dynamic-activation protocols only).
+    fn traces_activation(&self) -> bool {
+        false
+    }
+
+    /// Called once before round 0: size per-run state off the federation.
+    fn begin(&mut self, system: &FlSystem, rng: &mut StdRng) {
+        let _ = (system, rng);
+    }
+
+    /// Pick the clients to activate this round (sorted ascending by
+    /// convention; the driver broadcasts to exactly these).
+    fn select_clients(&mut self, system: &FlSystem, round: usize, rng: &mut StdRng) -> Vec<usize>;
+
+    /// Build the request mask for each selected client (`masks[j]`
+    /// corresponds to `active[j]`, one bool per parameter unit).
+    fn build_masks(
+        &mut self,
+        system: &FlSystem,
+        active: &[usize],
+        round: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<bool>>;
+
+    /// Hook after masked aggregation: update masks/activation state,
+    /// run reactivation, or write protocol-owned parameters into
+    /// `system.global`. Runs before the round's evaluation.
+    fn post_aggregate(
+        &mut self,
+        system: &mut FlSystem,
+        active: &[usize],
+        returns: &[ClientReturn],
+        round: usize,
+        rng: &mut StdRng,
+    ) -> StepOutcome {
+        let _ = (system, active, returns, round, rng);
+        StepOutcome::default()
+    }
+}

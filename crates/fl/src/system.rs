@@ -62,6 +62,12 @@ pub struct FlConfig {
     pub train: TrainConfig,
     /// Negatives per positive for evaluation metrics.
     pub eval_negatives: usize,
+    /// Evaluate the global model every `eval_every` rounds (the final
+    /// round is always evaluated; `1` evaluates every round, which is also
+    /// what a `0` is clamped to). Evaluation dominates wall-time on large
+    /// federations, so sparse cadences make long runs cheap; the curve in
+    /// [`RunResult`] then only holds the evaluated rounds.
+    pub eval_every: usize,
     /// Run seed: drives model init, client sampling and evaluation.
     pub seed: u64,
     /// Run client updates on crossbeam threads.
@@ -79,6 +85,7 @@ impl Default for FlConfig {
             model: HgnConfig::default(),
             train: TrainConfig::default(),
             eval_negatives: 5,
+            eval_every: 1,
             seed: 0,
             parallel: true,
             privacy: None,
@@ -162,9 +169,14 @@ impl RunResult {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// First round whose AUC reaches `threshold`.
+    /// First round whose AUC reaches `threshold`. Returns the round index
+    /// (not the curve position — the curve is sparse when
+    /// `FlConfig::eval_every > 1`).
     pub fn rounds_to_auc(&self, threshold: f64) -> Option<usize> {
-        self.curve.iter().position(|e| e.roc_auc >= threshold)
+        self.curve
+            .iter()
+            .find(|e| e.roc_auc >= threshold)
+            .map(|e| e.round)
     }
 }
 
@@ -592,6 +604,7 @@ pub(crate) mod tests {
                 ..Default::default()
             },
             eval_negatives: 3,
+            eval_every: 1,
             seed,
             parallel: true,
             privacy: None,

@@ -1,0 +1,248 @@
+//! Golden-curve regression tests: seeded runs of every protocol pinned to
+//! the exact AUC/MRR curves and uplink totals they produced *before* the
+//! `FlProtocol`/`RoundDriver` refactor. The driver must reproduce these
+//! bit-for-bit — same RNG stream derivations, same round structure.
+//!
+//! If a PR intentionally changes training numerics, regenerate the pins:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p fedda-fl --test golden_curves -- --nocapture
+//! ```
+//!
+//! and paste the printed literals back into this file.
+
+use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
+use fedda_fl::{baselines, FedAvg, FedDa, FlConfig, FlSystem, RunResult};
+use fedda_hetgraph::split::split_edges;
+use fedda_hgn::{HgnConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 5;
+const ROUNDS: usize = 5;
+const SEED: u64 = 42;
+
+fn golden_system() -> FlSystem {
+    let g = dblp_like(&PresetOptions {
+        scale: 0.0015,
+        seed: SEED,
+        ..Default::default()
+    })
+    .graph;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let split = split_edges(&g, 0.15, &mut rng);
+    let pcfg = PartitionConfig::paper_defaults(M, g.schema().num_edge_types(), SEED);
+    let clients = partition_non_iid(&split.train, &pcfg);
+    let cfg = FlConfig {
+        rounds: ROUNDS,
+        model: HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 2,
+            edge_emb_dim: 4,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        eval_negatives: 3,
+        seed: SEED,
+        parallel: true,
+        ..Default::default()
+    };
+    FlSystem::new(&split.train, &split.test, clients, cfg)
+}
+
+/// Pinned expectation for one protocol.
+struct Golden {
+    name: &'static str,
+    auc: &'static [f64],
+    mrr: &'static [f64],
+    uplink_units: usize,
+}
+
+fn check(result: &RunResult, golden: &Golden) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let aucs: Vec<f64> = result.curve.iter().map(|e| e.roc_auc).collect();
+        let mrrs: Vec<f64> = result.curve.iter().map(|e| e.mrr).collect();
+        println!("// --- {} ---", golden.name);
+        println!("auc: &{aucs:?},");
+        println!("mrr: &{mrrs:?},");
+        println!("uplink_units: {},", result.comm.total_uplink_units());
+        return;
+    }
+    assert_eq!(
+        result.curve.len(),
+        golden.auc.len(),
+        "{}: curve length",
+        golden.name
+    );
+    for (i, eval) in result.curve.iter().enumerate() {
+        assert_eq!(eval.round, i, "{}: round index", golden.name);
+        assert_eq!(
+            eval.roc_auc.to_bits(),
+            golden.auc[i].to_bits(),
+            "{}: AUC at round {i}: {} != {}",
+            golden.name,
+            eval.roc_auc,
+            golden.auc[i]
+        );
+        assert_eq!(
+            eval.mrr.to_bits(),
+            golden.mrr[i].to_bits(),
+            "{}: MRR at round {i}: {} != {}",
+            golden.name,
+            eval.mrr,
+            golden.mrr[i]
+        );
+    }
+    assert_eq!(
+        result.comm.total_uplink_units(),
+        golden.uplink_units,
+        "{}: total uplink units",
+        golden.name
+    );
+    assert_eq!(
+        result.final_eval.roc_auc.to_bits(),
+        golden.auc.last().unwrap().to_bits(),
+        "{}: final eval matches last curve point",
+        golden.name
+    );
+}
+
+#[test]
+fn golden_fedavg_vanilla() {
+    let mut sys = golden_system();
+    let result = FedAvg::vanilla().run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedAvg",
+            auc: &[
+                0.5345061697781892,
+                0.5586623139331556,
+                0.5791141115078577,
+                0.5895839876898322,
+                0.5994022051584416,
+            ],
+            mrr: &[
+                0.5556128437290417,
+                0.5683140509725034,
+                0.5747191482226709,
+                0.5863388665325302,
+                0.5975994858037131,
+            ],
+            uplink_units: 625,
+        },
+    );
+}
+
+#[test]
+fn golden_fedavg_half_half() {
+    let mut sys = golden_system();
+    let result = FedAvg::with_fractions(0.5, 0.5).run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedAvg(C=0.5,D=0.5)",
+            auc: &[
+                0.5233126556679671,
+                0.5468911867133947,
+                0.5665509259259259,
+                0.5736594760923391,
+                0.5926152080715907,
+            ],
+            mrr: &[
+                0.5503912363067303,
+                0.5605480102839273,
+                0.5634864744019689,
+                0.5760381734853584,
+                0.5938729599821168,
+            ],
+            uplink_units: 195,
+        },
+    );
+}
+
+#[test]
+fn golden_fedda_restart() {
+    let mut sys = golden_system();
+    let result = FedDa::restart().run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedDA-Restart",
+            auc: &[
+                0.5345061697781892,
+                0.5507348997479924,
+                0.5620398840618043,
+                0.5790008619137884,
+                0.589422694552815,
+            ],
+            mrr: &[
+                0.5556128437290417,
+                0.5603426112228945,
+                0.5644967024368447,
+                0.5814581936060824,
+                0.5892759333780476,
+            ],
+            uplink_units: 466,
+        },
+    );
+}
+
+#[test]
+fn golden_fedda_explore() {
+    let mut sys = golden_system();
+    let result = FedDa::explore().run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedDA-Explore",
+            auc: &[
+                0.5345061697781892,
+                0.5507348997479924,
+                0.5685399400839046,
+                0.5874738601798585,
+                0.6009091192958481,
+            ],
+            mrr: &[
+                0.5556128437290417,
+                0.5603426112228945,
+                0.5684202436843299,
+                0.5879135926671153,
+                0.5973270176615267,
+            ],
+            uplink_units: 392,
+        },
+    );
+}
+
+#[test]
+fn golden_global_baseline() {
+    let mut sys = golden_system();
+    let result = baselines::run_global(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "Global",
+            auc: &[
+                0.6515513759395182,
+                0.6749441615787579,
+                0.716991158610505,
+                0.7519739180387489,
+                0.7539756749285489,
+            ],
+            mrr: &[
+                0.6348074558461893,
+                0.6606234630002241,
+                0.698883579253298,
+                0.7244676391683443,
+                0.728164822266935,
+            ],
+            uplink_units: 0,
+        },
+    );
+}

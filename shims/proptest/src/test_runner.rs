@@ -43,7 +43,7 @@ fn fnv1a(text: &str) -> u64 {
     hash
 }
 
-/// Run `case` against [`CASES`] sampled inputs. Each case gets an RNG seeded
+/// Run `case` against `CASES` sampled inputs. Each case gets an RNG seeded
 /// from the test name and case index, so failures reproduce across runs.
 pub fn run<F>(name: &str, mut case: F)
 where

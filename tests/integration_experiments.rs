@@ -29,6 +29,7 @@ fn quick(dataset: Dataset, seed: u64) -> ExperimentConfig {
             ..Default::default()
         },
         eval_negatives: 3,
+        eval_every: 1,
         seed,
         parallel: true,
         iid: false,

@@ -26,6 +26,7 @@ fn cfg(dataset: Dataset, clients: usize, rounds: usize, seed: u64) -> Experiment
             ..Default::default()
         },
         eval_negatives: 3,
+        eval_every: 1,
         seed,
         parallel: true,
         iid: false,

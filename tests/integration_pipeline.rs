@@ -47,6 +47,7 @@ fn full_pipeline_runs_and_improves_over_initialization() {
         model: small_model(),
         train: quick_train(),
         eval_negatives: 5,
+        eval_every: 1,
         seed: 4,
         parallel: true,
         privacy: None,
@@ -87,6 +88,7 @@ fn iid_and_non_iid_partitions_flow_through_the_system() {
             model: small_model(),
             train: quick_train(),
             eval_negatives: 3,
+            eval_every: 1,
             seed: 8,
             parallel: false,
             privacy: None,
@@ -115,6 +117,7 @@ fn global_model_parameters_stay_finite_across_rounds() {
         model: small_model(),
         train: quick_train(),
         eval_negatives: 3,
+        eval_every: 1,
         seed: 12,
         parallel: true,
         privacy: None,
