@@ -11,6 +11,9 @@
 //! * `--eval-every <n>`— evaluate every n rounds (default 1; the final
 //!   round always evaluates)
 //! * `--json <path>`   — also dump machine-readable results
+//! * `--faults <spec>` — deterministic fault injection, e.g.
+//!   `drop=0.2,straggle=0.1,delay=3,corrupt=0.05,stale=discount:0.5`
+//!   (see `fedda::fl::FaultConfig`'s `FromStr`)
 //! * `--quick`         — smallest settings (CI smoke)
 //! * `--paper`         — paper-like settings (5 runs, 40 rounds)
 //! * `--events`        — stream per-round driver events to stderr
@@ -119,6 +122,7 @@ pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
         train: experiment_train(),
         eval_every: opts.get("eval-every").unwrap_or(1),
         seed: opts.get("seed").unwrap_or(0),
+        faults: opts.get("faults"),
         ..Default::default()
     };
     if opts.quick {
@@ -210,6 +214,30 @@ mod tests {
         assert_eq!(cfg.model.num_layers, 3);
         assert_eq!(cfg.runs, 5);
         assert_eq!(cfg.rounds, 40);
+    }
+
+    #[test]
+    fn faults_flag_flows_into_config() {
+        let o = Options::from_args(
+            ["--faults", "drop=0.3,straggle=0.1,delay=2"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let cfg = base_config(Dataset::DblpLike, &o);
+        let fc = cfg.faults.expect("--faults must populate the config");
+        assert_eq!(fc.dropout, 0.3);
+        assert_eq!(fc.straggler, 0.1);
+        assert_eq!(fc.max_staleness, 2);
+        assert!(base_config(Dataset::DblpLike, &Options::default())
+            .faults
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --faults")]
+    fn bad_faults_spec_panics_with_context() {
+        let o = Options::from_args(["--faults", "drop=1.5"].iter().map(|s| s.to_string()));
+        let _ = base_config(Dataset::DblpLike, &o);
     }
 
     #[test]

@@ -44,6 +44,9 @@ SUBCOMMANDS:
                   fedda-restart|fedda-explore  [--clients <n>]  [--rounds <n>]
                   [--runs <n>]  [--scale <f64>]  [--seed <u64>]
                   [--eval-every <n>]  [--events]
+                  [--faults drop=<f64>,straggle=<f64>,delay=<n>,
+                   corrupt=<f64>,kind=nan|inf|garbage:<s>,
+                   stale=discard|discount:<g>,maxnorm=<f64>]
     efficiency  evaluate the Eqs. 8-11 communication model
                   --m <n> --n <n> --nd <n> --rc <f64> --rp <f64>
     help        print this message

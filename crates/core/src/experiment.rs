@@ -6,7 +6,7 @@ use fedda_data::{
     PresetOptions,
 };
 use fedda_fl::{
-    baselines, AggWeighting, EventSink, FedAvg, FedDa, FlConfig, FlProtocol, FlSystem,
+    baselines, AggWeighting, EventSink, FaultConfig, FedAvg, FedDa, FlConfig, FlProtocol, FlSystem,
     GlobalProtocol, PrivacyConfig, RoundDriver,
 };
 use fedda_hetgraph::split::{split_edges, EdgeSplit};
@@ -76,6 +76,10 @@ pub struct ExperimentConfig {
     pub weighting: AggWeighting,
     /// Optional client-side differential privacy (clip + Gaussian noise).
     pub privacy: Option<PrivacyConfig>,
+    /// Optional deterministic fault injection (dropout / stragglers /
+    /// update corruption), applied identically to every framework under
+    /// comparison.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -99,6 +103,7 @@ impl Default for ExperimentConfig {
             parallel: true,
             weighting: AggWeighting::Uniform,
             privacy: None,
+            faults: None,
         }
     }
 }
@@ -233,6 +238,7 @@ impl Experiment {
             parallel: self.cfg.parallel,
             privacy: self.cfg.privacy,
             weighting: self.cfg.weighting,
+            faults: self.cfg.faults.clone(),
         };
         FlSystem::new(&self.split.train, &self.split.test, clients, fl_cfg)
     }
@@ -330,6 +336,7 @@ mod tests {
             iid: false,
             weighting: Default::default(),
             privacy: None,
+            faults: None,
         }
     }
 

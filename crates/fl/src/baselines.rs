@@ -194,6 +194,26 @@ mod tests {
     }
 
     #[test]
+    fn global_baseline_ignores_fault_injection() {
+        // The Global protocol selects no clients, so even an aggressive
+        // fault schedule has nobody to strike: no fault events, identical
+        // trained parameters.
+        let mut plain = tiny_system(2, 33);
+        let r_plain = run_global(&mut plain);
+        let mut faulty = tiny_system(2, 33);
+        faulty.set_faults(Some(crate::faults::FaultConfig {
+            dropout: 0.9,
+            ..Default::default()
+        }));
+        let r_faulty = run_global(&mut faulty);
+        assert!(r_faulty.faults.is_empty());
+        assert_eq!(plain.global.flatten(), faulty.global.flatten());
+        for (a, b) in r_plain.curve.iter().zip(&r_faulty.curve) {
+            assert_eq!(a.roc_auc.to_bits(), b.roc_auc.to_bits());
+        }
+    }
+
+    #[test]
     fn local_baseline_covers_every_client() {
         let sys = tiny_system(3, 32);
         let result = run_local_only(&sys);

@@ -6,6 +6,13 @@
 //! track both unit counts (the paper's measure) and raw scalar counts, for
 //! uplink (client → server gradients) and downlink (server → client model
 //! broadcast) separately.
+//!
+//! Under fault injection (`FlConfig::faults`) the counters record bytes
+//! that actually moved: downlink still covers every *selected* client (the
+//! broadcast happens before the server can know who will fail), while
+//! uplink covers only reports that arrived — fresh survivors, corrupted
+//! reports (received, then rejected) and stale straggler arrivals, but not
+//! dropouts or reports still held (or never delivered) by a straggler.
 
 /// Communication counters of one round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -10,11 +10,25 @@
 //! by the `golden_curves` regression tests.
 
 use crate::events::{EventSink, RoundEvent};
+use crate::faults::{
+    corrupt_return, detect_rejection, FaultConfig, FaultEffect, FaultKind, FaultObserved, FaultPlan,
+};
 use crate::protocol::FlProtocol;
-use crate::system::{ActivationSnapshot, FlSystem, RoundEval, RunResult};
+use crate::system::{
+    ActivationSnapshot, ClientReturn, FlSystem, RoundEval, RunResult, WeightedReturn,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// A straggler's report parked server-side until its arrival round.
+struct HeldReport {
+    client: usize,
+    from_round: usize,
+    arrival: usize,
+    ret: ClientReturn,
+    mask: Vec<bool>,
+}
 
 /// Executes an [`FlProtocol`] over an [`FlSystem`], optionally streaming
 /// per-round [`RoundEvent`]s to an [`EventSink`].
@@ -46,9 +60,20 @@ impl<'a> RoundDriver<'a> {
         protocol
             .validate()
             .map_err(|e| format!("invalid {} configuration: {e}", protocol.name()))?;
+        let fault_cfg = system.config().faults.clone();
+        if let Some(fc) = &fault_cfg {
+            fc.validate()
+                .map_err(|e| format!("invalid fault configuration: {e}"))?;
+        }
         let rounds = system.config().rounds;
         let eval_every = system.config().eval_every.max(1);
         let mut rng = StdRng::seed_from_u64(system.config().seed ^ protocol.seed_tweak());
+        // The fault schedule is pre-sampled from its own stream so turning
+        // it on never perturbs the protocol/init/eval draws below.
+        let plan = fault_cfg
+            .as_ref()
+            .map(|fc| FaultPlan::generate(fc, rounds, system.num_clients(), system.config().seed));
+        let mut pending: Vec<HeldReport> = Vec::new();
         protocol.begin(system, &mut rng);
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.begin_run(&protocol.name(), rounds);
@@ -61,13 +86,33 @@ impl<'a> RoundDriver<'a> {
             let masks = protocol.build_masks(system, &active, round, &mut rng);
             debug_assert_eq!(masks.len(), active.len(), "one mask per active client");
             let mask_density = mean_mask_density(&masks);
-            let returns = system.run_local_round(&active, round);
-            system.aggregate_masked(&returns, &masks);
-            let comm = system.round_comm(&masks);
+            let (returns, comm, fault_obs) = match (&plan, &fault_cfg) {
+                (Some(plan), Some(fc)) => run_faulted_round(
+                    system,
+                    plan,
+                    fc,
+                    &active,
+                    &masks,
+                    round,
+                    rounds,
+                    &mut pending,
+                ),
+                _ => {
+                    // Fault-free path: byte-for-byte the pre-fault loop so
+                    // every golden curve stays bit-identical.
+                    let returns = system.run_local_round(&active, round);
+                    system.aggregate_masked(&returns, &masks);
+                    let comm = system.round_comm(&masks);
+                    (returns, comm, Vec::new())
+                }
+            };
             // Protocols that activate no one (the Global baseline) keep an
             // empty comm log, matching their pre-driver behaviour.
             if !active.is_empty() {
                 result.comm.push(comm);
+            }
+            if !fault_obs.is_empty() {
+                protocol.on_faults(system, &fault_obs, round);
             }
             let outcome = protocol.post_aggregate(system, &active, &returns, round, &mut rng);
             if protocol.traces_activation() {
@@ -101,13 +146,188 @@ impl<'a> RoundDriver<'a> {
                     deactivated: outcome.deactivated,
                     reactivated: outcome.reactivated,
                     restarted: outcome.restarted,
+                    faults: fault_obs.clone(),
                     eval,
                     wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 });
             }
+            result.faults.extend(fault_obs);
         }
         Ok(result)
     }
+}
+
+/// One round under fault injection: run the local updates of every
+/// selected client that will report this round, apply scheduled
+/// corruptions and hold scheduled stragglers, admit this round's stale
+/// arrivals per the staleness policy, aggregate the admissible
+/// contributions with renormalised weights, and account only the bytes
+/// that actually moved.
+///
+/// Returns the fresh admissible returns (what `post_aggregate` sees), the
+/// round's comm counters and the structured fault records — fresh-round
+/// effects in ascending client order, then stale arrivals in the order
+/// they were held.
+#[allow(clippy::too_many_arguments)]
+fn run_faulted_round(
+    system: &mut FlSystem,
+    plan: &FaultPlan,
+    fc: &FaultConfig,
+    active: &[usize],
+    masks: &[Vec<bool>],
+    round: usize,
+    rounds: usize,
+    pending: &mut Vec<HeldReport>,
+) -> (
+    Vec<ClientReturn>,
+    crate::comm::RoundComm,
+    Vec<FaultObserved>,
+) {
+    // Dropped clients never report, so their local compute is skipped
+    // outright; stragglers and corrupted clients still train.
+    let reporting: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|&c| plan.fault_at(round, c) != Some(FaultKind::Dropout))
+        .collect();
+    let broadcast = system.global.clone();
+    let mut returns = system.run_local_round(&reporting, round);
+
+    let mut observations: Vec<FaultObserved> = Vec::new();
+    let mut survivors: Vec<ClientReturn> = Vec::new();
+    let mut survivor_masks: Vec<Vec<bool>> = Vec::new();
+    let mut uplink_masks: Vec<Vec<bool>> = Vec::new();
+    let mut returns_iter = returns.drain(..);
+    for (j, &client) in active.iter().enumerate() {
+        let fault = plan.fault_at(round, client);
+        if fault == Some(FaultKind::Dropout) {
+            observations.push(FaultObserved {
+                round,
+                client,
+                effect: FaultEffect::Dropout,
+            });
+            continue;
+        }
+        let mut ret = returns_iter
+            .next()
+            .expect("one return per reporting client");
+        debug_assert_eq!(ret.client, client);
+        match fault {
+            Some(FaultKind::Straggler { delay }) => {
+                let arrives = round + delay;
+                observations.push(FaultObserved {
+                    round,
+                    client,
+                    effect: FaultEffect::StragglerHeld {
+                        arrival: (arrives < rounds).then_some(arrives),
+                    },
+                });
+                // Reports that would land after the run ends are dropped on
+                // the floor — their bytes never transfer.
+                if arrives < rounds {
+                    pending.push(HeldReport {
+                        client,
+                        from_round: round,
+                        arrival: arrives,
+                        ret,
+                        mask: masks[j].clone(),
+                    });
+                }
+            }
+            Some(FaultKind::Corruption(kind)) => {
+                corrupt_return(&mut ret, &broadcast, kind);
+                // The corrupted bytes still crossed the network before the
+                // server could inspect them.
+                uplink_masks.push(masks[j].clone());
+                match detect_rejection(&ret, fc) {
+                    Some(effect) => observations.push(FaultObserved {
+                        round,
+                        client,
+                        effect,
+                    }),
+                    // An undetectable corruption (finite garbage with no
+                    // norm bound) sails through like a healthy report.
+                    None => {
+                        survivors.push(ret);
+                        survivor_masks.push(masks[j].clone());
+                    }
+                }
+            }
+            Some(FaultKind::Dropout) => unreachable!("dropouts filtered above"),
+            None => {
+                uplink_masks.push(masks[j].clone());
+                // The server-side guard applies to every arriving report,
+                // so even un-injected non-finite updates are caught here.
+                match detect_rejection(&ret, fc) {
+                    Some(effect) => observations.push(FaultObserved {
+                        round,
+                        client,
+                        effect,
+                    }),
+                    None => {
+                        survivors.push(ret);
+                        survivor_masks.push(masks[j].clone());
+                    }
+                }
+            }
+        }
+    }
+    drop(returns_iter);
+
+    // This round's stale arrivals: bytes transfer now, and the staleness
+    // policy decides whether (and at what weight) they aggregate.
+    let mut stale: Vec<(ClientReturn, Vec<bool>, f64)> = Vec::new();
+    let mut still_pending = Vec::new();
+    for held in pending.drain(..) {
+        if held.arrival != round {
+            still_pending.push(held);
+            continue;
+        }
+        let staleness = round - held.from_round;
+        uplink_masks.push(held.mask.clone());
+        if let Some(effect) = detect_rejection(&held.ret, fc) {
+            observations.push(FaultObserved {
+                round,
+                client: held.client,
+                effect,
+            });
+            continue;
+        }
+        match fc.staleness.weight(staleness) {
+            Some(weight) => {
+                observations.push(FaultObserved {
+                    round,
+                    client: held.client,
+                    effect: FaultEffect::StaleApplied { staleness, weight },
+                });
+                stale.push((held.ret, held.mask, weight));
+            }
+            None => observations.push(FaultObserved {
+                round,
+                client: held.client,
+                effect: FaultEffect::StaleDiscarded { staleness },
+            }),
+        }
+    }
+    *pending = still_pending;
+
+    let contributions: Vec<WeightedReturn<'_>> = survivors
+        .iter()
+        .zip(&survivor_masks)
+        .map(|(ret, mask)| WeightedReturn {
+            ret,
+            mask,
+            scale: 1.0,
+        })
+        .chain(stale.iter().map(|(ret, mask, weight)| WeightedReturn {
+            ret,
+            mask,
+            scale: *weight,
+        }))
+        .collect();
+    system.aggregate_weighted(&contributions);
+    let comm = system.round_comm_parts(active.len(), &uplink_masks);
+    (survivors, comm, observations)
 }
 
 /// Mean fraction of requested units per mask; `0.0` for an empty mask set.

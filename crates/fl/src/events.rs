@@ -7,6 +7,7 @@
 //! driver owns the loop, a sink only records or renders.
 
 use crate::comm::RoundComm;
+use crate::faults::FaultObserved;
 use crate::system::RoundEval;
 
 /// Everything the driver knows about one finished round.
@@ -28,6 +29,10 @@ pub struct RoundEvent {
     pub reactivated: Vec<usize>,
     /// Whether a full activation reset fired this round.
     pub restarted: bool,
+    /// Faults the driver observed this round (dropouts, held/arrived
+    /// stragglers, rejected corruptions); empty when fault injection is
+    /// off.
+    pub faults: Vec<FaultObserved>,
     /// Global evaluation, when the round fell on the evaluation cadence
     /// (`FlConfig::eval_every`; the final round always evaluates).
     pub eval: Option<RoundEval>,
@@ -91,11 +96,14 @@ impl EventSink for StderrSink {
             Some(e) => format!("auc {:.4} mrr {:.4}", e.roc_auc, e.mrr),
             None => "-".into(),
         };
-        let flags = match (event.restarted, event.deactivated.len()) {
+        let mut flags = match (event.restarted, event.deactivated.len()) {
             (true, _) => " restart".to_string(),
             (false, 0) => String::new(),
             (false, d) => format!(" -{d} client(s)"),
         };
+        if !event.faults.is_empty() {
+            flags.push_str(&format!(" !{} fault(s)", event.faults.len()));
+        }
         eprintln!(
             "  r{:03} | active {:2} | density {:.2} | up {:6}u / down {:6}u | {} | {:.1}ms{}",
             event.round,
@@ -129,6 +137,7 @@ mod tests {
             deactivated: vec![],
             reactivated: vec![],
             restarted: false,
+            faults: vec![],
             eval: None,
             wall_ms: 1.5,
         }

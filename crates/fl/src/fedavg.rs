@@ -204,4 +204,42 @@ mod tests {
             "FedAvg(C=0.80,D=1.00)"
         );
     }
+
+    #[test]
+    fn fedavg_survives_full_dropout_rounds() {
+        // FedAvg has no activation machinery, so dropout rate 1.0 means
+        // every round aggregates nothing: the global model must simply
+        // stand still and the run must complete with zero uplink.
+        let mut sys = tiny_system(3, 16);
+        sys.set_faults(Some(crate::faults::FaultConfig::dropout_only(1.0)));
+        let before = sys.global.flatten();
+        let result = FedAvg::vanilla().run(&mut sys);
+        assert_eq!(result.curve.len(), sys.config().rounds);
+        assert_eq!(sys.global.flatten(), before, "no survivor, no movement");
+        assert_eq!(result.comm.total_uplink_units(), 0);
+        // Downlink still paid: the broadcast happens before anyone fails.
+        assert!(result.comm.total_downlink_units() > 0);
+        assert_eq!(result.faults.len(), 3 * sys.config().rounds);
+    }
+
+    #[test]
+    fn fedavg_zero_rate_fault_config_matches_faultless_run() {
+        // An all-zero FaultConfig schedules nothing, so the run must be
+        // bit-identical to `faults: None` — the fault stream is orthogonal
+        // to every other RNG stream.
+        let mut plain = tiny_system(3, 17);
+        let r_plain = FedAvg::vanilla().run(&mut plain);
+        let mut faulty = tiny_system(3, 17);
+        faulty.set_faults(Some(crate::faults::FaultConfig::default()));
+        let r_faulty = FedAvg::vanilla().run(&mut faulty);
+        assert!(r_faulty.faults.is_empty());
+        for (a, b) in r_plain.curve.iter().zip(&r_faulty.curve) {
+            assert_eq!(a.roc_auc.to_bits(), b.roc_auc.to_bits());
+            assert_eq!(a.mrr.to_bits(), b.mrr.to_bits());
+        }
+        let (pa, pb) = (plain.global.flatten(), faulty.global.flatten());
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }

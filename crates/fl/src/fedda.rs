@@ -24,6 +24,7 @@
 //! state machine [`FedDa::protocol`] creates).
 
 use crate::driver::RoundDriver;
+use crate::faults::FaultObserved;
 use crate::protocol::{FlProtocol, StepOutcome};
 use crate::system::{ClientReturn, FlSystem, RunResult};
 use rand::rngs::StdRng;
@@ -199,6 +200,7 @@ impl FedDa {
             masks: Vec::new(),
             disentangled: Vec::new(),
             n_d: 0,
+            faulted: Vec::new(),
         }
     }
 
@@ -285,6 +287,11 @@ pub struct FedDaProtocol {
     disentangled: Vec<bool>,
     /// `N_d`.
     n_d: usize,
+    /// Clients deactivated this round by observed faults (dropouts, held
+    /// stragglers, rejected corruptions) via `on_faults`; merged into the
+    /// round's deactivation outcome and the explore cool-down, then
+    /// cleared.
+    faulted: Vec<usize>,
 }
 
 impl FlProtocol for FedDaProtocol {
@@ -322,6 +329,20 @@ impl FlProtocol for FedDaProtocol {
         // D_A^(0) = D, I^(0) = 1 (Algorithm 1 initialisation).
         self.active = vec![true; m];
         self.masks = vec![vec![true; n]; m];
+        self.faulted = Vec::new();
+    }
+
+    fn on_faults(&mut self, _system: &FlSystem, faults: &[FaultObserved], _round: usize) {
+        // A client that failed to contribute a usable fresh report is
+        // inactive as far as the activation machinery is concerned — it
+        // must re-enter through Restart/Explore like any deactivated
+        // client, so real dropouts exercise the reactivation paths.
+        for f in faults {
+            if f.is_client_failure() && self.active[f.client] {
+                self.active[f.client] = false;
+                self.faulted.push(f.client);
+            }
+        }
     }
 
     fn select_clients(
@@ -362,10 +383,15 @@ impl FlProtocol for FedDaProtocol {
         self.cfg
             .update_masks(system, returns, &mut self.masks, &self.disentangled);
 
-        // Step 5: deactivate under-occupied clients.
-        let mut just_deactivated = Vec::new();
+        // Step 5: deactivate under-occupied clients. Clients already
+        // deactivated by this round's faults (`on_faults`) are skipped —
+        // they are out regardless of occupancy.
+        let mut just_deactivated = self.faulted.clone();
         if self.n_d > 0 {
             for &i in active {
+                if !self.active[i] {
+                    continue;
+                }
                 let kept = self.masks[i]
                     .iter()
                     .zip(&self.disentangled)
@@ -377,6 +403,9 @@ impl FlProtocol for FedDaProtocol {
                 }
             }
         }
+        just_deactivated.sort_unstable();
+        just_deactivated.dedup();
+        self.faulted.clear();
         outcome.deactivated = just_deactivated.clone();
 
         // Step 6: reactivation.

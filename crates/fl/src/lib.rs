@@ -15,7 +15,11 @@
 //!   update rules (§5.3 prose vs. literal Eq. 7);
 //! * [`baselines`] — centralised `Global` and isolated `Local` training;
 //! * [`analysis`] — the closed-form efficiency model of §5.4.3
-//!   (Eqs. 8–11).
+//!   (Eqs. 8–11);
+//! * [`faults`] — deterministic fault injection (client dropout, straggler
+//!   delay, update corruption) with its own RNG stream, structured
+//!   [`FaultObserved`] records and graceful degradation guarantees
+//!   (exercised by the `chaos` test harness).
 //!
 //! Every round protocol implements [`FlProtocol`] and executes on the
 //! shared [`RoundDriver`] — the single canonical round loop (broadcast,
@@ -31,6 +35,7 @@ pub mod baselines;
 mod comm;
 mod driver;
 mod events;
+pub mod faults;
 mod fedavg;
 mod fedda;
 mod protocol;
@@ -40,10 +45,14 @@ pub use baselines::GlobalProtocol;
 pub use comm::{CommLog, RoundComm};
 pub use driver::RoundDriver;
 pub use events::{EventSink, MemorySink, RoundEvent, StderrSink};
+pub use faults::{
+    renormalize, Corruption, FaultConfig, FaultEffect, FaultKind, FaultObserved, FaultPlan,
+    ScriptedFault, StalenessPolicy,
+};
 pub use fedavg::FedAvg;
 pub use fedda::{FedDa, FedDaProtocol, MaskRule, Reactivation};
 pub use protocol::{FlProtocol, StepOutcome};
 pub use system::{
     ActivationSnapshot, AggWeighting, Client, ClientReturn, FlConfig, FlSystem, PrivacyConfig,
-    RoundEval, RunResult,
+    RoundEval, RunResult, WeightedReturn,
 };

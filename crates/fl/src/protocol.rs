@@ -34,7 +34,16 @@
 //!
 //! Existing tweaks: FedAvg `0xFEDA_A0A0`, FedDA `0xDA_DA_DA`, Global
 //! `0x61_0B_A1`.
+//!
+//! Fault injection gets its **own** stream, not a protocol tweak: the
+//! [`FaultPlan`](crate::FaultPlan) is pre-sampled from
+//! `cfg.seed ^` [`FAULT_STREAM_TWEAK`](crate::faults::FAULT_STREAM_TWEAK)
+//! before round 0, so enabling faults never shifts a single draw of any
+//! protocol's stream — a faulted run and a clean run make identical
+//! selection/mask/reactivation decisions given identical activation
+//! state.
 
+use crate::faults::FaultObserved;
 use crate::system::{ClientReturn, FlSystem};
 use rand::rngs::StdRng;
 
@@ -101,6 +110,18 @@ pub trait FlProtocol {
         round: usize,
         rng: &mut StdRng,
     ) -> Vec<Vec<bool>>;
+
+    /// Hook before aggregation on rounds where the driver observed faults:
+    /// the structured records of every dropout, held/arrived straggler and
+    /// rejected corruption of the round. Dynamic-activation protocols use
+    /// this to treat faulted clients as inactive (FedDA deactivates them so
+    /// Restart/Explore reactivation is exercised by real failures); the
+    /// default ignores faults. Never called when `FlConfig::faults` is
+    /// `None`. Deliberately RNG-free — fault handling must not shift any
+    /// protocol's decision stream.
+    fn on_faults(&mut self, system: &FlSystem, faults: &[FaultObserved], round: usize) {
+        let _ = (system, faults, round);
+    }
 
     /// Hook after masked aggregation: update masks/activation state,
     /// run reactivation, or write protocol-owned parameters into

@@ -4,6 +4,7 @@
 //! masked aggregation (Eq. 6) and global evaluation.
 
 use crate::comm::{CommLog, RoundComm};
+use crate::faults::{FaultConfig, FaultObserved};
 use fedda_data::ClientData;
 use fedda_hetgraph::{HeteroGraph, LinkExample, LinkSampler};
 use fedda_hgn::{
@@ -76,6 +77,10 @@ pub struct FlConfig {
     pub privacy: Option<PrivacyConfig>,
     /// Aggregation weighting (Eq. 5's `p_i`).
     pub weighting: AggWeighting,
+    /// Optional deterministic fault injection (dropout / stragglers /
+    /// corruption); `None` leaves every seeded run bit-identical to a
+    /// fault-free driver.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for FlConfig {
@@ -90,6 +95,7 @@ impl Default for FlConfig {
             parallel: true,
             privacy: None,
             weighting: AggWeighting::Uniform,
+            faults: None,
         }
     }
 }
@@ -115,6 +121,21 @@ pub struct ClientReturn {
     /// Per-unit L2 distance between the updated and broadcast parameters —
     /// the "returned gradient" magnitude FedDA scores contributions with.
     pub unit_delta: Vec<f32>,
+}
+
+/// One contribution to a weighted masked aggregation: a client's return,
+/// its unit mask, and a scale multiplied into the client's base weight
+/// (`1.0` for a fresh report; the [`StalenessPolicy::Discount`]
+/// multiplier for a stale one).
+///
+/// [`StalenessPolicy::Discount`]: crate::faults::StalenessPolicy::Discount
+pub struct WeightedReturn<'a> {
+    /// The client's returned parameters and deltas.
+    pub ret: &'a ClientReturn,
+    /// One bool per unit: which units this client contributes.
+    pub mask: &'a [bool],
+    /// Multiplier on the client's base aggregation weight.
+    pub scale: f64,
 }
 
 /// Per-round evaluation snapshot of the global model.
@@ -158,6 +179,9 @@ pub struct RunResult {
     pub final_eval: EvalResult,
     /// FedDA's per-round activation trace (empty for FedAvg/baselines).
     pub activation_trace: Vec<ActivationSnapshot>,
+    /// Every fault the driver observed, in round order (empty when
+    /// `FlConfig::faults` is `None`).
+    pub faults: Vec<FaultObserved>,
 }
 
 impl RunResult {
@@ -272,6 +296,15 @@ impl FlSystem {
         &self.cfg
     }
 
+    /// Enable or disable fault injection on an assembled federation.
+    ///
+    /// Faults are read by the driver at the start of each run, so this can
+    /// flip between a clean and a chaotic run of the *same* system —
+    /// nothing else in the configuration or the seeded state changes.
+    pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
+        self.cfg.faults = faults;
+    }
+
     /// The global training graph (evaluation-time message passing; also
     /// what the `Global` baseline trains on).
     pub fn eval_graph(&self) -> &HeteroGraph {
@@ -377,14 +410,38 @@ impl FlSystem {
     /// `masks[j]` corresponds to `returns[j]` and has one bool per unit.
     pub fn aggregate_masked(&mut self, returns: &[ClientReturn], masks: &[Vec<bool>]) {
         assert_eq!(returns.len(), masks.len(), "one mask per returning client");
-        let n = self.num_units();
-        let weights: Vec<f64> = returns
+        let contributions: Vec<WeightedReturn<'_>> = returns
             .iter()
-            .map(|ret| match self.cfg.weighting {
-                AggWeighting::Uniform => 1.0,
-                AggWeighting::BySampleCount => {
-                    self.clients[ret.client].positives.len().max(1) as f64
-                }
+            .zip(masks)
+            .map(|(ret, mask)| WeightedReturn {
+                ret,
+                mask,
+                scale: 1.0,
+            })
+            .collect();
+        self.aggregate_weighted(&contributions);
+    }
+
+    /// Scaled variant of [`FlSystem::aggregate_masked`] used by the fault
+    /// path: each contribution's base weight (Eq. 5's `p_i`) is multiplied
+    /// by its `scale` before the per-unit normalisation, so staleness
+    /// discounts compose with the weighting scheme and dropped clients are
+    /// simply absent — the division by each unit's surviving weight sum is
+    /// exactly the Eq. 6 renormalisation over survivors. A `scale` of
+    /// `1.0` on every contribution is bit-identical to
+    /// [`FlSystem::aggregate_masked`].
+    pub fn aggregate_weighted(&mut self, contributions: &[WeightedReturn<'_>]) {
+        let n = self.num_units();
+        let weights: Vec<f64> = contributions
+            .iter()
+            .map(|c| {
+                let base = match self.cfg.weighting {
+                    AggWeighting::Uniform => 1.0,
+                    AggWeighting::BySampleCount => {
+                        self.clients[c.ret.client].positives.len().max(1) as f64
+                    }
+                };
+                base * c.scale
             })
             .collect();
         let mut weight_sums = vec![0.0f64; n];
@@ -394,10 +451,10 @@ impl FlSystem {
             .iter()
             .map(|(_, p)| vec![0.0f64; p.len()])
             .collect();
-        for ((ret, mask), &w) in returns.iter().zip(masks).zip(&weights) {
-            assert_eq!(mask.len(), n, "mask length must equal unit count");
-            for (k, (_, p)) in ret.params.iter().enumerate() {
-                if mask[k] {
+        for (c, &w) in contributions.iter().zip(&weights) {
+            assert_eq!(c.mask.len(), n, "mask length must equal unit count");
+            for (k, (_, p)) in c.ret.params.iter().enumerate() {
+                if c.mask[k] {
                     weight_sums[k] += w;
                     for (s, &v) in sums[k].iter_mut().zip(p.value().as_slice()) {
                         *s += w * f64::from(v);
@@ -419,12 +476,26 @@ impl FlSystem {
     /// from each active client (downlink is the full model per the paper's
     /// broadcast step).
     pub fn round_comm(&self, masks: &[Vec<bool>]) -> RoundComm {
+        self.round_comm_parts(masks.len(), masks)
+    }
+
+    /// Communication counters with broadcast and report fan-out decoupled
+    /// — the shape faults force on a round: the server broadcasts to every
+    /// one of `broadcast_clients` selected clients, but `uplink_masks`
+    /// holds one mask per report whose bytes actually arrived (fresh
+    /// survivors, rejected-but-received corruptions, stale arrivals — not
+    /// dropouts or still-held stragglers).
+    pub fn round_comm_parts(
+        &self,
+        broadcast_clients: usize,
+        uplink_masks: &[Vec<bool>],
+    ) -> RoundComm {
         let sizes = self.unit_sizes();
         let n_units = sizes.len();
         let n_scalars: usize = sizes.iter().sum();
         let mut uplink_units = 0usize;
         let mut uplink_scalars = 0usize;
-        for mask in masks {
+        for mask in uplink_masks {
             for (k, &m) in mask.iter().enumerate() {
                 if m {
                     uplink_units += 1;
@@ -433,11 +504,11 @@ impl FlSystem {
             }
         }
         RoundComm {
-            active_clients: masks.len(),
+            active_clients: broadcast_clients,
             uplink_units,
             uplink_scalars,
-            downlink_units: masks.len() * n_units,
-            downlink_scalars: masks.len() * n_scalars,
+            downlink_units: broadcast_clients * n_units,
+            downlink_scalars: broadcast_clients * n_scalars,
         }
     }
 
@@ -609,6 +680,7 @@ pub(crate) mod tests {
             parallel: true,
             privacy: None,
             weighting: AggWeighting::Uniform,
+            faults: None,
         };
         FlSystem::new(&split.train, &split.test, clients, cfg)
     }
@@ -776,6 +848,96 @@ pub(crate) mod tests {
             let (lo, hi) = if x < y { (x, y) } else { (y, x) };
             assert!(*w >= lo - 1e-5 && *w <= hi + 1e-5);
         }
+    }
+
+    #[test]
+    fn aggregate_weighted_scale_one_matches_aggregate_masked() {
+        let mut a = tiny_system(2, 12);
+        let mut b = tiny_system(2, 12);
+        let returns = a.run_local_round(&[0, 1], 0);
+        let masks = a.full_masks(2);
+        a.aggregate_masked(&returns, &masks);
+        let contributions: Vec<WeightedReturn<'_>> = returns
+            .iter()
+            .zip(&masks)
+            .map(|(ret, mask)| WeightedReturn {
+                ret,
+                mask,
+                scale: 1.0,
+            })
+            .collect();
+        b.aggregate_weighted(&contributions);
+        let fa = a.global.flatten();
+        let fb = b.global.flatten();
+        for (x, y) in fa.iter().zip(&fb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "scale 1.0 must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn aggregate_weighted_renormalises_over_survivors() {
+        // Dropping one of two clients must leave exactly the survivor's
+        // parameters — the per-unit weight-sum division *is* the Eq. 6
+        // renormalisation over whoever remains.
+        let mut sys = tiny_system(2, 13);
+        let returns = sys.run_local_round(&[0, 1], 0);
+        let mask = vec![true; sys.num_units()];
+        sys.aggregate_weighted(&[WeightedReturn {
+            ret: &returns[1],
+            mask: &mask,
+            scale: 1.0,
+        }]);
+        let got = sys.global.flatten();
+        let expect = returns[1].params.flatten();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!(
+                (g - e).abs() < 1e-6,
+                "survivor weight must renormalise to 1"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_weighted_discount_pulls_toward_fresh_report() {
+        let mut sys = tiny_system(2, 14);
+        let returns = sys.run_local_round(&[0, 1], 0);
+        let mask = vec![true; sys.num_units()];
+        // Fresh client 0 at weight 1, stale client 1 discounted to 0.25:
+        // result = (θ_0 + 0.25·θ_1) / 1.25.
+        sys.aggregate_weighted(&[
+            WeightedReturn {
+                ret: &returns[0],
+                mask: &mask,
+                scale: 1.0,
+            },
+            WeightedReturn {
+                ret: &returns[1],
+                mask: &mask,
+                scale: 0.25,
+            },
+        ]);
+        let got = sys.global.flatten();
+        let a = returns[0].params.flatten();
+        let b = returns[1].params.flatten();
+        for ((g, &x), &y) in got.iter().zip(&a).zip(&b) {
+            let e = (f64::from(x) + 0.25 * f64::from(y)) / 1.25;
+            assert!((f64::from(*g) - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn round_comm_parts_decouples_broadcast_from_uplink() {
+        let sys = tiny_system(3, 15);
+        let n = sys.num_units();
+        // 3 clients broadcast to, only 1 full report arrived.
+        let rc = sys.round_comm_parts(3, &[vec![true; n]]);
+        assert_eq!(rc.active_clients, 3);
+        assert_eq!(rc.downlink_units, 3 * n);
+        assert_eq!(rc.uplink_units, n);
+        assert_eq!(rc.uplink_scalars, sys.global.num_scalars());
+        // And the classic path is the m == reports special case.
+        let full = sys.round_comm(&sys.full_masks(3));
+        assert_eq!(full, sys.round_comm_parts(3, &sys.full_masks(3)));
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Chaos harness: the protocol engine under deterministic fault injection.
+//!
+//! Sweeps fault rate × protocol × seed and pins the failure-semantics
+//! invariants the driver guarantees:
+//!
+//! * every run completes all rounds with a finite global model and finite
+//!   evaluation scores, however many clients a round loses;
+//! * the structured [`FaultObserved`] stream matches the injected
+//!   [`FaultPlan`] *exactly* (same cells, same effects, same order) —
+//!   reconstructed here independently from the schedule and the per-round
+//!   active sets;
+//! * the comm log counts only bytes that actually moved: dropouts and
+//!   held stragglers transfer nothing, stale arrivals and rejected
+//!   corruptions do;
+//! * staleness discounting applies exactly `gamma^staleness`;
+//! * accuracy degrades gracefully with the fault rate rather than
+//!   collapsing;
+//! * `faults: None` and an all-zero `FaultConfig` are bit-identical to the
+//!   pre-fault engine (the `golden_curves` pins), because the fault stream
+//!   is orthogonal to every other RNG stream.
+
+use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
+use fedda_fl::{
+    Corruption, FaultConfig, FaultEffect, FaultKind, FaultObserved, FaultPlan, FedAvg, FedDa,
+    FlConfig, FlSystem, MemorySink, RoundDriver, RunResult, StalenessPolicy,
+};
+use fedda_hetgraph::split::split_edges;
+use fedda_hgn::{HgnConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 5;
+const ROUNDS: usize = 5;
+const GOLDEN_SEED: u64 = 42;
+
+/// Same construction as `golden_curves::golden_system` (so the zero-fault
+/// pins below are comparable bit-for-bit), parameterised by seed and fault
+/// configuration.
+fn chaos_system(seed: u64, faults: Option<FaultConfig>) -> FlSystem {
+    let g = dblp_like(&PresetOptions {
+        scale: 0.0015,
+        seed,
+        ..Default::default()
+    })
+    .graph;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_edges(&g, 0.15, &mut rng);
+    let pcfg = PartitionConfig::paper_defaults(M, g.schema().num_edge_types(), seed);
+    let clients = partition_non_iid(&split.train, &pcfg);
+    let cfg = FlConfig {
+        rounds: ROUNDS,
+        model: HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 2,
+            edge_emb_dim: 4,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        eval_negatives: 3,
+        seed,
+        parallel: true,
+        faults,
+        ..Default::default()
+    };
+    FlSystem::new(&split.train, &split.test, clients, cfg)
+}
+
+/// The mixed fault schedule the sweep injects at headline rate `r`:
+/// dropouts at `r`, stragglers and NaN corruption at `r/2` each, stale
+/// reports discounted by `0.5^staleness`.
+fn mixed_faults(rate: f64) -> FaultConfig {
+    FaultConfig {
+        dropout: rate,
+        straggler: rate / 2.0,
+        max_staleness: 2,
+        corruption: rate / 2.0,
+        corruption_kind: Corruption::NaN,
+        staleness: StalenessPolicy::Discount { gamma: 0.5 },
+        ..Default::default()
+    }
+}
+
+/// Run protocol `which` (0 = FedAvg, 1 = FedDA-Restart, 2 = FedDA-Explore)
+/// through the shared driver with an event sink attached.
+fn run_protocol(which: usize, sys: &mut FlSystem, sink: &mut MemorySink) -> RunResult {
+    let mut driver = RoundDriver::with_sink(sink);
+    match which {
+        0 => driver.run(&mut FedAvg::vanilla(), sys),
+        1 => driver.run(&mut FedDa::restart().protocol(), sys),
+        _ => driver.run(&mut FedDa::explore().protocol(), sys),
+    }
+    .expect("chaos runs use valid configurations")
+}
+
+/// Reconstruct, independently of the driver, the exact `FaultObserved`
+/// stream the run must have produced: walk the regenerated schedule over
+/// the per-round active sets, holding stragglers until their arrival
+/// round, mirroring the driver's documented ordering contract (fresh
+/// effects in active order, then stale arrivals in held order).
+fn expected_observations(
+    plan: &FaultPlan,
+    fc: &FaultConfig,
+    active_per_round: &[Vec<usize>],
+) -> Vec<FaultObserved> {
+    let rounds = active_per_round.len();
+    let mut expected = Vec::new();
+    let mut pending: Vec<(usize, usize, usize)> = Vec::new(); // (client, from, arrival)
+    for (round, active) in active_per_round.iter().enumerate() {
+        for &client in active {
+            match plan.fault_at(round, client) {
+                Some(FaultKind::Dropout) => expected.push(FaultObserved {
+                    round,
+                    client,
+                    effect: FaultEffect::Dropout,
+                }),
+                Some(FaultKind::Straggler { delay }) => {
+                    let arrives = round + delay;
+                    let arrival = (arrives < rounds).then_some(arrives);
+                    expected.push(FaultObserved {
+                        round,
+                        client,
+                        effect: FaultEffect::StragglerHeld { arrival },
+                    });
+                    if let Some(a) = arrival {
+                        pending.push((client, round, a));
+                    }
+                }
+                Some(FaultKind::Corruption(Corruption::NaN | Corruption::Inf)) => {
+                    expected.push(FaultObserved {
+                        round,
+                        client,
+                        effect: FaultEffect::CorruptionRejected { non_finite: true },
+                    })
+                }
+                // Finite garbage is only caught when a norm bound is set;
+                // the sweep injects NaN so this arm stays unvisited there.
+                Some(FaultKind::Corruption(Corruption::Garbage { .. })) | None => {}
+            }
+        }
+        let mut still = Vec::new();
+        for (client, from, arrival) in pending.drain(..) {
+            if arrival != round {
+                still.push((client, from, arrival));
+                continue;
+            }
+            let staleness = round - from;
+            let effect = match fc.staleness.weight(staleness) {
+                Some(weight) => FaultEffect::StaleApplied { staleness, weight },
+                None => FaultEffect::StaleDiscarded { staleness },
+            };
+            expected.push(FaultObserved {
+                round,
+                client,
+                effect,
+            });
+        }
+        pending = still;
+    }
+    expected
+}
+
+/// The invariants every chaos run must satisfy, fault-injected or not.
+fn check_chaos_invariants(
+    sys: &FlSystem,
+    sink: &MemorySink,
+    result: &RunResult,
+    faults: Option<&FaultConfig>,
+    seed: u64,
+    label: &str,
+) {
+    // Completion: every round ran, evaluated (eval_every = 1) and emitted
+    // exactly one event.
+    assert_eq!(sink.events.len(), ROUNDS, "{label}: one event per round");
+    assert_eq!(result.curve.len(), ROUNDS, "{label}: dense curve");
+    for (i, event) in sink.events.iter().enumerate() {
+        assert_eq!(event.round, i, "{label}: event round index");
+    }
+
+    // Finiteness: faults must never push non-finite values into the global
+    // model or the evaluation scores.
+    assert!(
+        sys.global.flatten().iter().all(|v| v.is_finite()),
+        "{label}: global model picked up non-finite parameters"
+    );
+    for eval in &result.curve {
+        assert!(
+            eval.roc_auc.is_finite() && (0.0..=1.0).contains(&eval.roc_auc),
+            "{label}: AUC out of range at round {}: {}",
+            eval.round,
+            eval.roc_auc
+        );
+        assert!(
+            eval.mrr.is_finite() && (0.0..=1.0).contains(&eval.mrr),
+            "{label}: MRR out of range at round {}: {}",
+            eval.round,
+            eval.mrr
+        );
+    }
+
+    // The event stream and the run result are two views of the same fault
+    // records.
+    let streamed: Vec<FaultObserved> = sink
+        .events
+        .iter()
+        .flat_map(|e| e.faults.iter().copied())
+        .collect();
+    assert_eq!(streamed, result.faults, "{label}: events vs result faults");
+
+    // Events mirror the comm log (rounds with no active clients keep the
+    // comm log empty, as for the Global baseline).
+    let mut comm_rounds = result.comm.rounds().iter();
+    for (i, event) in sink.events.iter().enumerate() {
+        if event.active_clients.is_empty() {
+            assert_eq!(event.comm.uplink_units, 0, "{label}: round {i}");
+        } else {
+            let rc = comm_rounds.next().expect("comm log entry");
+            assert_eq!(&event.comm, rc, "{label}: round {i}: event vs comm log");
+        }
+    }
+    assert!(comm_rounds.next().is_none(), "{label}: extra comm rounds");
+
+    match faults {
+        None => assert!(result.faults.is_empty(), "{label}: faultless run"),
+        Some(fc) => {
+            // The observed stream must match the injected schedule exactly,
+            // reconstructed here from the plan and the active sets alone.
+            let plan = FaultPlan::generate(fc, ROUNDS, M, seed);
+            let active_per_round: Vec<Vec<usize>> = sink
+                .events
+                .iter()
+                .map(|e| e.active_clients.clone())
+                .collect();
+            let expected = expected_observations(&plan, fc, &active_per_round);
+            assert_eq!(
+                result.faults, expected,
+                "{label}: observed faults vs injected schedule"
+            );
+
+            // Staleness discounting is exactly gamma^staleness.
+            if let StalenessPolicy::Discount { gamma } = fc.staleness {
+                for f in &result.faults {
+                    if let FaultEffect::StaleApplied { staleness, weight } = f.effect {
+                        assert_eq!(
+                            weight,
+                            gamma.powi(staleness as i32),
+                            "{label}: discount weight"
+                        );
+                    }
+                }
+            }
+
+            // Comm counts only transferred bytes. Under full masks (all
+            // three protocols here mask per FedDA dynamics or not at all,
+            // but FedAvg is always full), uplink per event is bounded by
+            // what could possibly arrive.
+            let n = sys.num_units();
+            for (event, active) in sink.events.iter().zip(&active_per_round) {
+                assert!(
+                    event.comm.uplink_units <= (active.len() + M) * n,
+                    "{label}: uplink exceeds any possible arrival count"
+                );
+                assert_eq!(
+                    event.comm.downlink_units,
+                    active.len() * n,
+                    "{label}: downlink is one full model per selected client"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_sweep_invariants_hold_across_rates_protocols_and_seeds() {
+    let rates = [0.0, 0.3];
+    let mut mean_final_auc = [0.0f64; 2];
+    let mut saw_faults = false;
+    for (ri, &rate) in rates.iter().enumerate() {
+        for which in 0..3usize {
+            for seed in [GOLDEN_SEED, 43, 44] {
+                let faults = (rate > 0.0).then(|| mixed_faults(rate));
+                let mut sys = chaos_system(seed, faults.clone());
+                let mut sink = MemorySink::new();
+                let result = run_protocol(which, &mut sys, &mut sink);
+                let label = format!("rate={rate} protocol={which} seed={seed}");
+                check_chaos_invariants(&sys, &sink, &result, faults.as_ref(), seed, &label);
+                saw_faults |= !result.faults.is_empty();
+                mean_final_auc[ri] += result.final_eval.roc_auc / 9.0;
+            }
+        }
+    }
+    assert!(saw_faults, "rate 0.3 must actually inject faults");
+    // Graceful degradation: losing ~60% of reports (mixed faults at the
+    // 0.3 headline rate) may cost accuracy but must not collapse it, and
+    // must not somehow *help* beyond noise.
+    assert!(
+        mean_final_auc[1] <= mean_final_auc[0] + 0.02,
+        "faults must not improve mean AUC: {} vs {}",
+        mean_final_auc[1],
+        mean_final_auc[0]
+    );
+    assert!(
+        mean_final_auc[1] >= mean_final_auc[0] - 0.10,
+        "AUC collapsed under faults: {} vs {}",
+        mean_final_auc[1],
+        mean_final_auc[0]
+    );
+}
+
+#[test]
+fn light_faults_keep_every_protocol_within_the_invariants() {
+    // The 0.1-rate point of the sweep, split out so failures bisect.
+    let faults = mixed_faults(0.1);
+    for which in 0..3usize {
+        for seed in [GOLDEN_SEED, 43, 44] {
+            let mut sys = chaos_system(seed, Some(faults.clone()));
+            let mut sink = MemorySink::new();
+            let result = run_protocol(which, &mut sys, &mut sink);
+            let label = format!("rate=0.1 protocol={which} seed={seed}");
+            check_chaos_invariants(&sys, &sink, &result, Some(&faults), seed, &label);
+        }
+    }
+}
+
+#[test]
+fn dropout_point_three_fedavg_matches_injected_schedule_exactly() {
+    // The acceptance pin: dropout 0.3 completes all rounds with finite
+    // parameters, and the FaultObserved stream equals the schedule cell
+    // for cell (FedAvg selects everyone, so every scheduled cell is hit).
+    let fc = FaultConfig::dropout_only(0.3);
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc.clone()));
+    let result = FedAvg::vanilla().run(&mut sys);
+    assert_eq!(result.curve.len(), ROUNDS);
+    assert!(sys.global.flatten().iter().all(|v| v.is_finite()));
+
+    let plan = FaultPlan::generate(&fc, ROUNDS, M, GOLDEN_SEED);
+    let mut expected = Vec::new();
+    for round in 0..ROUNDS {
+        for client in 0..M {
+            if plan.fault_at(round, client) == Some(FaultKind::Dropout) {
+                expected.push(FaultObserved {
+                    round,
+                    client,
+                    effect: FaultEffect::Dropout,
+                });
+            }
+        }
+    }
+    assert!(
+        !expected.is_empty(),
+        "rate 0.3 over {} cells must schedule something",
+        ROUNDS * M
+    );
+    assert_eq!(result.faults, expected);
+    assert_eq!(plan.num_scheduled(), expected.len());
+
+    // Only the reports that arrived count as uplink; every selected client
+    // still cost a broadcast.
+    let n = sys.num_units();
+    assert_eq!(
+        result.comm.total_uplink_units(),
+        (ROUNDS * M - expected.len()) * n
+    );
+    assert_eq!(result.comm.total_downlink_units(), ROUNDS * M * n);
+}
+
+#[test]
+fn fedavg_uplink_counts_only_arrived_bytes_under_mixed_faults() {
+    // With FedAvg (everyone selected, full masks) the comm ledger is
+    // exactly: arrivals = fresh survivors + rejected corruptions + stale
+    // arrivals; dropouts and held stragglers transfer nothing.
+    let fc = mixed_faults(0.3);
+    let mut sys = chaos_system(43, Some(fc.clone()));
+    let result = FedAvg::vanilla().run(&mut sys);
+
+    let mut drops = 0usize;
+    let mut held = 0usize;
+    let mut stale = 0usize;
+    for f in &result.faults {
+        match f.effect {
+            FaultEffect::Dropout => drops += 1,
+            FaultEffect::StragglerHeld { .. } => held += 1,
+            FaultEffect::StaleApplied { .. } | FaultEffect::StaleDiscarded { .. } => stale += 1,
+            FaultEffect::CorruptionRejected { .. } => {}
+        }
+    }
+    let n = sys.num_units();
+    assert_eq!(
+        result.comm.total_uplink_units(),
+        (ROUNDS * M - drops - held + stale) * n,
+        "uplink must equal arrived reports × model size"
+    );
+    assert_eq!(result.comm.total_downlink_units(), ROUNDS * M * n);
+}
+
+/// Pinned golden expectations copied from `golden_curves.rs` — a fault
+/// configuration that schedules nothing must leave them bit-identical.
+struct GoldenPin {
+    auc: &'static [f64],
+    uplink_units: usize,
+}
+
+const GOLDEN_FEDAVG: GoldenPin = GoldenPin {
+    auc: &[
+        0.5345061697781892,
+        0.5586623139331556,
+        0.5791141115078577,
+        0.5895839876898322,
+        0.5994022051584416,
+    ],
+    uplink_units: 625,
+};
+
+const GOLDEN_EXPLORE: GoldenPin = GoldenPin {
+    auc: &[
+        0.5345061697781892,
+        0.5507348997479924,
+        0.5685399400839046,
+        0.5874738601798585,
+        0.6009091192958481,
+    ],
+    uplink_units: 392,
+};
+
+fn check_pin(result: &RunResult, pin: &GoldenPin, label: &str) {
+    assert_eq!(result.curve.len(), pin.auc.len(), "{label}: curve length");
+    for (eval, golden) in result.curve.iter().zip(pin.auc) {
+        assert_eq!(
+            eval.roc_auc.to_bits(),
+            golden.to_bits(),
+            "{label}: AUC at round {} drifted: {} != {}",
+            eval.round,
+            eval.roc_auc,
+            golden
+        );
+    }
+    assert_eq!(
+        result.comm.total_uplink_units(),
+        pin.uplink_units,
+        "{label}: uplink"
+    );
+    assert!(result.faults.is_empty(), "{label}: no faults scheduled");
+}
+
+#[test]
+fn zero_rate_fault_config_is_bit_identical_to_the_golden_pins() {
+    // `faults: Some(all-zero)` exercises the faulted driver path but
+    // schedules nothing — the runs must still reproduce the golden curves
+    // bit for bit, proving the fault stream is orthogonal to every other
+    // RNG stream and the faulted aggregation path is numerically identical.
+    for faults in [None, Some(FaultConfig::default())] {
+        let label = if faults.is_some() {
+            "zero-rate FaultConfig"
+        } else {
+            "faults: None"
+        };
+        let mut sys = chaos_system(GOLDEN_SEED, faults.clone());
+        let result = FedAvg::vanilla().run(&mut sys);
+        check_pin(&result, &GOLDEN_FEDAVG, &format!("FedAvg / {label}"));
+
+        let mut sys = chaos_system(GOLDEN_SEED, faults.clone());
+        let result = FedDa::explore().run(&mut sys);
+        check_pin(&result, &GOLDEN_EXPLORE, &format!("Explore / {label}"));
+
+        let mut sys = chaos_system(GOLDEN_SEED, faults);
+        let result = FedDa::restart().run(&mut sys);
+        assert_eq!(
+            result.comm.total_uplink_units(),
+            466,
+            "Restart / {label}: uplink"
+        );
+    }
+}

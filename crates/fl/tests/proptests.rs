@@ -1,11 +1,14 @@
 //! Property-based tests of the FL layer's pure logic: the analytic
-//! communication model and the comm accounting.
+//! communication model, the comm accounting and the fault-injection
+//! configuration/renormalisation rules.
 
 use fedda_fl::analysis::{
     explore_expected_units, explore_ratio_bound, restart_expected_units, restart_period,
     restart_ratio, EfficiencyInputs,
 };
-use fedda_fl::{CommLog, RoundComm};
+use fedda_fl::{
+    renormalize, CommLog, Corruption, FaultConfig, FaultPlan, RoundComm, StalenessPolicy,
+};
 use proptest::prelude::*;
 
 fn inputs_strategy() -> impl Strategy<Value = EfficiencyInputs> {
@@ -20,7 +23,126 @@ fn inputs_strategy() -> impl Strategy<Value = EfficiencyInputs> {
     })
 }
 
+/// Corruption kinds with valid parameters.
+fn corruption_strategy() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        Just(Corruption::NaN),
+        Just(Corruption::Inf),
+        (0.5f32..1e6).prop_map(|scale| Corruption::Garbage { scale }),
+    ]
+}
+
+/// Staleness policies with valid parameters.
+fn staleness_strategy() -> impl Strategy<Value = StalenessPolicy> {
+    prop_oneof![
+        Just(StalenessPolicy::Discard),
+        (0.01f64..=1.0).prop_map(|gamma| StalenessPolicy::Discount { gamma }),
+    ]
+}
+
+/// Valid fault configurations: three rates scaled so their sum stays in
+/// `[0, 1]`, a positive staleness bound, valid kind/policy parameters.
+fn fault_config_strategy() -> impl Strategy<Value = FaultConfig> {
+    (
+        (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+        1usize..6,
+        corruption_strategy(),
+        staleness_strategy(),
+        prop::option::of(0.1f32..1e6),
+    )
+        .prop_map(|((a, b, c), max_staleness, kind, policy, maxnorm)| {
+            // The 0.999 headroom keeps the rescaled rates' sum strictly
+            // under 1 despite rounding in the three divisions.
+            let total = (a + b + c).max(1.0) / 0.999;
+            FaultConfig {
+                dropout: a / total,
+                straggler: b / total,
+                max_staleness,
+                corruption: c / total,
+                corruption_kind: kind,
+                staleness: policy,
+                max_update_norm: maxnorm,
+                ..Default::default()
+            }
+        })
+}
+
 proptest! {
+    #[test]
+    fn generated_fault_configs_validate(cfg in fault_config_strategy()) {
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+    }
+
+    #[test]
+    fn rates_outside_unit_interval_are_rejected(
+        cfg in fault_config_strategy(),
+        rate in prop_oneof![-10.0f64..-1e-9, 1.0f64 + 1e-9..10.0],
+        which in 0usize..3,
+    ) {
+        let mut bad = cfg;
+        match which {
+            0 => bad.dropout = rate,
+            1 => bad.straggler = rate,
+            _ => bad.corruption = rate,
+        }
+        prop_assert!(bad.validate().is_err(), "accepted rate {rate}");
+    }
+
+    #[test]
+    fn zero_staleness_bound_is_rejected(cfg in fault_config_strategy()) {
+        let mut bad = cfg;
+        bad.max_staleness = 0;
+        prop_assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_in_bounds(
+        cfg in fault_config_strategy(),
+        rounds in 1usize..12,
+        clients in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let a = FaultPlan::generate(&cfg, rounds, clients, seed);
+        let b = FaultPlan::generate(&cfg, rounds, clients, seed);
+        for r in 0..rounds {
+            for c in 0..clients {
+                prop_assert_eq!(a.fault_at(r, c), b.fault_at(r, c));
+                if let Some(fedda_fl::FaultKind::Straggler { delay }) = a.fault_at(r, c) {
+                    prop_assert!((1..=cfg.max_staleness).contains(&delay));
+                }
+            }
+        }
+        prop_assert!(a.num_scheduled() <= rounds * clients);
+        prop_assert_eq!(a.fault_at(rounds, 0), None);
+        prop_assert_eq!(a.fault_at(0, clients), None);
+    }
+
+    #[test]
+    fn renormalized_weights_sum_to_one(
+        weights in prop::collection::vec(1e-6f64..1e6, 1..40),
+    ) {
+        // However many clients a round loses, the survivors' renormalised
+        // Eq. 6 weights always sum to 1.
+        let w = renormalize(&weights);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-12, "sum {total}");
+        for (out, orig) in w.iter().zip(&weights) {
+            prop_assert!(*out > 0.0 && *out <= 1.0, "weight {out} from {orig}");
+        }
+    }
+
+    #[test]
+    fn staleness_discount_weights_are_monotone_in_staleness(
+        gamma in 0.01f64..=1.0, staleness in 1usize..20,
+    ) {
+        let p = StalenessPolicy::Discount { gamma };
+        let w = p.weight(staleness).unwrap();
+        let w_next = p.weight(staleness + 1).unwrap();
+        prop_assert!(w > 0.0 && w <= 1.0);
+        prop_assert!(w_next <= w + 1e-15, "older reports must not gain weight");
+        prop_assert_eq!(StalenessPolicy::Discard.weight(staleness), None);
+    }
+
     #[test]
     fn restart_expectation_never_exceeds_fedavg(
         inp in inputs_strategy(), beta_r in 0.05f64..0.95,

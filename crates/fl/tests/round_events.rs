@@ -6,7 +6,8 @@
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
 use fedda_fl::{
-    baselines, FedAvg, FedDa, FlConfig, FlSystem, MaskRule, MemorySink, Reactivation, RoundDriver,
+    baselines, FaultConfig, FaultEffect, FedAvg, FedDa, FlConfig, FlSystem, MaskRule, MemorySink,
+    Reactivation, RoundDriver,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -88,6 +89,13 @@ fn check_events_against_result(
     assert_eq!(up, result.comm.total_uplink_units());
     let down: usize = sink.events.iter().map(|e| e.comm.downlink_units).sum();
     assert_eq!(down, result.comm.total_downlink_units());
+    // The per-round fault records concatenate to the run's fault log.
+    let streamed: Vec<_> = sink
+        .events
+        .iter()
+        .flat_map(|e| e.faults.iter().copied())
+        .collect();
+    assert_eq!(streamed, result.faults, "event faults vs result faults");
 }
 
 #[test]
@@ -140,6 +148,47 @@ fn safety_net_restart_is_visible_in_the_event_stream() {
             "the safety-net restore brings everyone back"
         );
     }
+}
+
+#[test]
+fn faults_emptying_the_round_trip_the_safety_net_every_round() {
+    // Dropout rate 1.0: every selected client fails every round, so
+    // `on_faults` deactivates the whole cohort and the empty-active-set
+    // safety net must fire each round — and the FaultObserved stream, the
+    // activation trace and the event stream must tell the same story.
+    let m = 4;
+    let rounds = 4;
+    let mut sys = tiny_system(m, 47, rounds, 1);
+    sys.set_faults(Some(FaultConfig::dropout_only(1.0)));
+    let mut sink = MemorySink::new();
+    let result = RoundDriver::with_sink(&mut sink)
+        .run(&mut FedDa::explore().protocol(), &mut sys)
+        .unwrap();
+    check_events_against_result(&sink, &result, rounds, true);
+    let everyone: Vec<usize> = (0..m).collect();
+    for (round, event) in sink.events.iter().enumerate() {
+        // The previous round's safety net restored everyone…
+        assert_eq!(event.active_clients, everyone, "round {round}");
+        // …and they all dropped again: one Dropout record per client.
+        let failed: Vec<usize> = event.faults.iter().map(|f| f.client).collect();
+        assert_eq!(failed, everyone, "round {round}: fault records");
+        for f in &event.faults {
+            assert_eq!(f.round, round);
+            assert_eq!(f.effect, FaultEffect::Dropout);
+        }
+        // The activation trace is the same collapse seen from the
+        // protocol's side: everyone deactivated, the safety-net restart
+        // bringing everyone back.
+        let snap = &result.activation_trace[round];
+        assert_eq!(snap.deactivated, failed, "round {round}: deactivations");
+        assert!(snap.restarted, "round {round}: safety net must fire");
+        assert_eq!(snap.reactivated.len(), m, "round {round}: full restore");
+        // Nobody reported, so no uplink; the broadcast still happened.
+        assert_eq!(event.comm.uplink_units, 0);
+        assert!(event.comm.downlink_units > 0);
+    }
+    assert_eq!(result.faults.len(), m * rounds);
+    assert!(sys.global.flatten().iter().all(|v| v.is_finite()));
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //!
 //! Implements the subset of proptest 1.x this workspace's test suites use:
 //! the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
-//! strategies, [`collection::vec`], [`any`], and the `proptest!` /
-//! `prop_assert*` / `prop_assume!` macros.
+//! strategies, [`collection::vec`], [`option::of`], [`any`], and the
+//! `proptest!` / `prop_oneof!` / `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from upstream: cases are sampled from a deterministic
 //! per-test seed (derived from the test name, so runs are reproducible
@@ -14,6 +14,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
 pub mod prelude;
 pub mod strategy;
 pub mod test_runner;

@@ -1,0 +1,48 @@
+//! `option::of` — strategies over `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Yield `Some` of the inner strategy's value three draws out of four and
+/// `None` otherwise (upstream's default `Some` weighting is also 3:1).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_range(0..4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn of_yields_both_variants_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = of(1usize..5);
+        let mut nones = 0;
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                None => nones += 1,
+                Some(v) => assert!((1..5).contains(&v)),
+            }
+        }
+        assert!((10..120).contains(&nones), "implausible None count {nones}");
+    }
+}

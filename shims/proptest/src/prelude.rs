@@ -3,7 +3,7 @@
 pub use crate::arbitrary::any;
 pub use crate::strategy::{Just, Strategy};
 pub use crate::test_runner::TestCaseError;
-pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
 /// Upstream's prelude exposes the crate under the alias `prop`, enabling
 /// `prop::collection::vec(...)` paths.

@@ -74,6 +74,53 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// One boxed arm of a [`OneOf`]: a type-erased sampler over the test RNG.
+pub type OneOfArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice among same-valued strategies — what the
+/// [`prop_oneof!`](crate::prop_oneof) macro builds. The arms are boxed
+/// samplers so heterogeneous strategy *types* (with one `Value`) compose.
+pub struct OneOf<T> {
+    arms: Vec<OneOfArm<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A strategy picking uniformly among `arms` each draw.
+    ///
+    /// # Panics
+    ///
+    /// When `arms` is empty.
+    pub fn new(arms: Vec<OneOfArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Uniform choice among the given strategies (all yielding one `Value`
+/// type). Unlike upstream there are no per-arm weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf::new(vec![
+            $({
+                let s = $strategy;
+                Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::sample(&s, rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            },)+
+        ])
+    }};
+}
+
 macro_rules! range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -117,6 +164,18 @@ tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = crate::prop_oneof![Just(0usize), 1usize..3, Just(9usize)];
+        let mut seen = [false; 10];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng)] = true;
+        }
+        assert!(seen[0] && seen[1] && seen[2] && seen[9]);
+        assert!(!seen[3..9].iter().any(|&s| s));
+    }
 
     #[test]
     fn combinators_compose() {

@@ -35,6 +35,7 @@ fn quick(dataset: Dataset, seed: u64) -> ExperimentConfig {
         iid: false,
         weighting: Default::default(),
         privacy: None,
+        faults: None,
     }
 }
 

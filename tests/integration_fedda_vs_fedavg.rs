@@ -32,6 +32,7 @@ fn cfg(dataset: Dataset, clients: usize, rounds: usize, seed: u64) -> Experiment
         iid: false,
         weighting: Default::default(),
         privacy: None,
+        faults: None,
     }
 }
 
@@ -197,6 +198,45 @@ fn fedda_drives_an_rgcn_model_through_with_model() {
         "FedDA over R-GCN still saves uplink"
     );
     assert!(!system.global.has_non_finite());
+}
+
+#[test]
+fn scripted_nan_corruption_is_rejected_and_never_reaches_the_model() {
+    // The NaN grad-check: script a single NaN-corrupted update at an exact
+    // (round, client) cell and require the server to reject it — the run
+    // completes, the global model stays finite, and exactly one
+    // CorruptionRejected record appears at the scripted cell.
+    use fedda::fl::{
+        Corruption, FaultConfig, FaultEffect, FaultKind, FedDa, RoundDriver, ScriptedFault,
+    };
+
+    let mut config = cfg(Dataset::DblpLike, 4, 5, 8);
+    config.faults = Some(FaultConfig {
+        scripted: vec![ScriptedFault {
+            round: 1,
+            client: 0,
+            kind: FaultKind::Corruption(Corruption::NaN),
+        }],
+        ..Default::default()
+    });
+    let exp = Experiment::new(config);
+    let mut system = exp.system_for_run(0);
+    let result = RoundDriver::new()
+        .run(&mut FedDa::explore().protocol(), &mut system)
+        .expect("scripted-fault run must complete");
+
+    assert_eq!(result.curve.len(), 5);
+    assert!(!system.global.has_non_finite(), "NaN leaked into the model");
+    for eval in &result.curve {
+        assert!(eval.roc_auc.is_finite() && eval.mrr.is_finite());
+    }
+    assert_eq!(result.faults.len(), 1, "exactly the scripted fault");
+    let f = &result.faults[0];
+    assert_eq!((f.round, f.client), (1, 0));
+    assert_eq!(
+        f.effect,
+        FaultEffect::CorruptionRejected { non_finite: true }
+    );
 }
 
 #[test]

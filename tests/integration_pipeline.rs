@@ -52,6 +52,7 @@ fn full_pipeline_runs_and_improves_over_initialization() {
         parallel: true,
         privacy: None,
         weighting: AggWeighting::Uniform,
+        faults: None,
     };
     let mut system = FlSystem::new(&split.train, &split.test, clients, cfg);
     let initial = system.evaluate_global(999);
@@ -93,6 +94,7 @@ fn iid_and_non_iid_partitions_flow_through_the_system() {
             parallel: false,
             privacy: None,
             weighting: AggWeighting::Uniform,
+            faults: None,
         };
         let mut system = FlSystem::new(&split.train, &split.test, clients, cfg);
         let result = FedAvg::vanilla().run(&mut system);
@@ -122,6 +124,7 @@ fn global_model_parameters_stay_finite_across_rounds() {
         parallel: true,
         privacy: None,
         weighting: AggWeighting::Uniform,
+        faults: None,
     };
     let mut system = FlSystem::new(&split.train, &split.test, clients, cfg);
     let _ = FedAvg::vanilla().run(&mut system);
