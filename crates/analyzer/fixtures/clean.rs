@@ -1,0 +1,30 @@
+//@ crate: data
+//@ expect:
+// Clean file: nothing here may fire. Exercises the lexer's blind spots —
+// rule patterns inside strings, comments and test code.
+use std::collections::BTreeMap;
+
+/// Docs may say unwrap() or HashMap freely.
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> Option<u32> {
+    let banned = "HashMap::new() and thread_rng() and x.unwrap()";
+    m.get(&k).copied().filter(|_| !banned.is_empty())
+}
+
+pub fn ratio(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    a as f64 / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//@ crate: tensor
+//@ expect: float-eq, float-eq
+// Known-bad: float == / != against a float literal (rule D4).
+
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn is_set(x: f64) -> bool {
+    x != 1.0
+}
+
+// Integer comparisons and ordering operators must NOT fire.
+pub fn ok(n: usize, x: f32) -> bool {
+    n == 0 && x <= 0.5 && x >= -0.5
+}

@@ -1,0 +1,16 @@
+//@ crate: data
+//@ expect: hash-collection, hash-collection, hash-collection, hash-collection
+// Known-bad: HashMap/HashSet in a deterministic crate (rule D1).
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> usize {
+    let m: HashMap<u32, u32> = Default::default();
+    m.len()
+}
+
+// A set mentioned only in a string or comment must NOT fire: "HashSet".
+pub const NOTE: &str = "HashSet is banned";
+
+pub fn build_set() -> HashSet<u32> {
+    Default::default()
+}

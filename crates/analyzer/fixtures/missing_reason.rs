@@ -1,0 +1,15 @@
+//@ crate: fl
+//@ expect: bad-suppression, wall-clock, bad-suppression, panic-path
+// Known-bad: suppressions without a reason (or for an unknown rule) are
+// rejected AND the underlying finding still fires.
+use std::time::Instant;
+
+pub fn no_reason() -> Instant {
+    // fedda-lint: allow(wall-clock)
+    Instant::now()
+}
+
+pub fn unknown_rule(xs: &[f32]) -> f32 {
+    // fedda-lint: allow(made-up-rule, reason = "not a real rule")
+    *xs.first().unwrap()
+}

@@ -1,0 +1,12 @@
+//@ crate: fl
+//@ expect: narrowing-cast
+// Known-bad: potentially-truncating integer cast in ledger code (rule D5).
+
+pub fn bytes_to_u32(total_bytes: usize) -> u32 {
+    total_bytes as u32
+}
+
+// Widening casts and float casts must NOT fire.
+pub fn widen(x: u32) -> (u64, f64) {
+    (x as u64, x as f64)
+}

@@ -1,0 +1,27 @@
+//@ crate: metrics
+//@ expect: panic-path, panic-path
+// Known-bad: unwrap/expect in non-test library code (rule D3). The test
+// module at the bottom contains the same calls and must NOT fire.
+
+pub fn first(xs: &[f32]) -> f32 {
+    *xs.first().unwrap()
+}
+
+pub fn last(xs: &[f32]) -> f32 {
+    *xs.last().expect("non-empty")
+}
+
+// unwrap_or is fine: it cannot panic.
+pub fn safe(xs: &[f32]) -> f32 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        panic!("even this is fine in tests");
+    }
+}

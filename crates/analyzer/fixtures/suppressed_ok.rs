@@ -1,0 +1,14 @@
+//@ crate: fl
+//@ expect: suppressed wall-clock, suppressed panic-path
+// Clean file: every violation carries a reasoned suppression, so the
+// analyzer reports zero unsuppressed findings here.
+use std::time::Instant;
+
+pub fn telemetry() -> Instant {
+    // fedda-lint: allow(wall-clock, reason = "timing telemetry only")
+    Instant::now()
+}
+
+pub fn trailing(xs: &[f32]) -> f32 {
+    *xs.first().unwrap() // fedda-lint: allow(panic-path, reason = "caller guarantees non-empty")
+}

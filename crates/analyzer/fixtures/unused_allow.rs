@@ -1,0 +1,9 @@
+//@ crate: fl
+//@ expect: unused-suppression
+// Known-bad: a suppression on a line with no matching finding is itself a
+// finding, so stale allows cannot accumulate.
+
+pub fn fine(x: u64) -> u64 {
+    // fedda-lint: allow(panic-path, reason = "nothing here can panic")
+    x + 1
+}

@@ -1,0 +1,14 @@
+//@ crate: fl
+//@ expect: wall-clock, wall-clock
+// Known-bad: wall-clock reads in protocol code (rule D2).
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_millis()
+}
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,332 @@
+//! A small Rust lexer that separates *code* from *non-code* so rules never
+//! fire inside comments, string literals, raw strings or char literals.
+//!
+//! The output is a "masked" copy of the source — byte-for-byte the same
+//! length and line structure, with every non-code byte replaced by a space
+//! (newlines are preserved so `line:col` positions survive) — plus the list
+//! of comments with their original text, which is where suppression
+//! directives live.
+
+/// One comment with its position (1-based line/col of its first byte).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: usize,
+    /// 1-based column of the `//` or `/*`.
+    pub col: usize,
+    /// Raw comment text including delimiters.
+    pub text: String,
+    /// True when code precedes the comment on its starting line (a
+    /// *trailing* comment); false when the comment opens the line.
+    pub trailing: bool,
+}
+
+/// Lexer output: code-only text plus the extracted comments.
+#[derive(Clone, Debug)]
+pub struct Masked {
+    /// Source with comments, strings and char literals blanked out.
+    pub code: String,
+    /// Every comment in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Strip comments, strings (plain, raw, byte, raw-byte) and char literals.
+pub fn mask(source: &str) -> Masked {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    // Columns are counted in characters, consistent with the rule engine.
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Push one source char as non-code (blank it, keep newlines).
+    macro_rules! blank {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                code.push('\n');
+                line += 1;
+                col = 1;
+                line_has_code = false;
+            } else {
+                code.push(' ');
+                col += 1;
+            }
+        }};
+    }
+    macro_rules! keep {
+        ($c:expr) => {{
+            let c = $c;
+            code.push(c);
+            if c == '\n' {
+                line += 1;
+                col = 1;
+                line_has_code = false;
+            } else {
+                if !c.is_whitespace() {
+                    line_has_code = true;
+                }
+                col += 1;
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Line comment (//, ///, //!).
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let (start_line, start_col, trailing) = (line, col, line_has_code);
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                blank!(chars[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                col: start_col,
+                text,
+                trailing,
+            });
+            continue;
+        }
+        // Block comment (nests in Rust).
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let (start_line, start_col, trailing) = (line, col, line_has_code);
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    blank!(chars[i]);
+                    blank!(chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    blank!(chars[i]);
+                    blank!(chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(chars[i]);
+                    blank!(chars[i]);
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                col: start_col,
+                text,
+                trailing,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if c == 'b' && j + 1 < chars.len() && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            let mut k = j + 1;
+            while k < chars.len() && chars[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < chars.len() && chars[k] == '"' && (hashes > 0 || chars[j + 1] == '"') {
+                // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                for &pc in &chars[i..=k] {
+                    blank!(pc);
+                }
+                i = k + 1;
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && i + 1 + h < chars.len() && chars[i + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            for &pc in &chars[i..=i + hashes] {
+                                blank!(pc);
+                            }
+                            i += hashes + 1;
+                            break 'raw;
+                        }
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if c == 'b' && i + 1 < chars.len() && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+                // Plain byte string / byte char: blank the `b`, then fall
+                // through to the quote handling on the next iteration.
+                blank!(c);
+                i += 1;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            blank!(c);
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    blank!(chars[i]);
+                    blank!(chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = chars[i] == '"';
+                blank!(chars[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` / `'\n'` are literals; `'a` in
+        // `<'a>` is a lifetime and stays (it contains no rule patterns).
+        if c == '\'' {
+            if i + 1 < chars.len() && chars[i + 1] == '\\' {
+                blank!(chars[i]);
+                blank!(chars[i + 1]);
+                i += 2;
+                while i < chars.len() {
+                    let done = chars[i] == '\'';
+                    blank!(chars[i]);
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+                continue;
+            }
+            if i + 2 < chars.len() && chars[i + 1] != '\'' && chars[i + 2] == '\'' {
+                blank!(chars[i]);
+                blank!(chars[i + 1]);
+                blank!(chars[i + 2]);
+                i += 3;
+                continue;
+            }
+            keep!(c);
+            i += 1;
+            continue;
+        }
+        keep!(c);
+        i += 1;
+    }
+
+    Masked { code, comments }
+}
+
+/// Byte spans of `#[cfg(test)]`-gated items (and `#[test]` functions) in the
+/// masked code. Rules skip findings inside these spans: the determinism and
+/// panic-freedom invariants are about *library* code.
+pub fn test_spans(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut spans = Vec::new();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(pos) = code[from..].find(marker) {
+            let start = from + pos;
+            let mut i = start + marker.len();
+            // The gated item ends at the matching `}` of its first brace
+            // block, or at a `;` that appears before any `{`.
+            let mut end = code.len();
+            while i < bytes.len() {
+                match bytes[i] {
+                    b';' => {
+                        end = i + 1;
+                        break;
+                    }
+                    b'{' => {
+                        let mut depth = 0usize;
+                        while i < bytes.len() {
+                            match bytes[i] {
+                                b'{' => depth += 1,
+                                b'}' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                        end = (i + 1).min(code.len());
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            spans.push((start, end));
+            from = end.max(start + marker.len());
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = mask("let x = \"HashMap\"; // HashMap here\nlet y = HashMap::new();");
+        assert!(m.code.contains("HashMap::new"));
+        assert!(m.code.lines().next().unwrap().trim_end().ends_with(';'));
+        assert!(!m.code.lines().next().unwrap().contains("HashMap"));
+        assert_eq!(m.comments.len(), 1);
+        assert!(m.comments[0].text.contains("HashMap here"));
+        assert!(m.comments[0].trailing);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let m = mask("let s = r#\"unwrap()\"#; let c = '\"'; fn f<'a>(x: &'a str) {}");
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("'a>"));
+        // The quote char literal must not open a string that swallows code.
+        assert!(m.code.contains("fn f"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* a /* b */ c */ let x = 1;");
+        assert!(m.code.contains("let x = 1;"));
+        assert!(!m.code.contains('a'));
+        assert_eq!(m.comments.len(), 1);
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "line1 // c\nline2 \"s\ntill here\"\nline3";
+        let m = mask(src);
+        assert_eq!(m.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_module() {
+        let code =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let spans = test_spans(code);
+        assert_eq!(spans.len(), 1);
+        let (s, e) = spans[0];
+        assert!(code[s..e].contains("unwrap"));
+        assert!(!code[..s].contains("unwrap"));
+        assert!(code[e..].contains("tail"));
+    }
+}

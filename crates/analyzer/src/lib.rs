@@ -1,0 +1,227 @@
+//! `fedda-lint` — workspace static analysis enforcing the determinism and
+//! numerical-safety invariants the golden-curve / chaos-harness guarantees
+//! rest on.
+//!
+//! Rules (see `DESIGN.md` §6 for rationale):
+//!
+//! | id | scope | invariant |
+//! |----|-------|-----------|
+//! | `hash-collection` (D1) | data, hetgraph, tensor, hgn, fl | no `HashMap`/`HashSet`: unordered iteration breaks seeded reproducibility |
+//! | `wall-clock` (D2) | fl | no `thread_rng` / `SystemTime` / `Instant::now`: protocol code runs on explicit RNG streams and logical time |
+//! | `panic-path` (D3) | core crates | no `.unwrap()` / `.expect()` / `panic!` / `todo!` in non-test library code |
+//! | `float-eq` (D4) | core crates | no float `==` / `!=` against float literals without a stated reason |
+//! | `narrowing-cast` (D5) | fl | no potentially-truncating `as u8/u16/u32/i8/i16/i32` in protocol/ledger accounting |
+//!
+//! Exemptions are line-scoped comment directives that must carry a reason —
+//! `// fedda-lint: allow(wall-clock, reason = "telemetry only")` — and are
+//! counted and printed so they stay visible. Reasonless, unknown-rule and
+//! unused directives are themselves findings.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{scan_file, Finding};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The crates the default workspace scan covers (their `src/` trees).
+/// The analyzer itself is excluded: its sources and fixtures quote the very
+/// patterns it hunts for.
+pub const SCANNED_CRATES: &[&str] = &["data", "hetgraph", "tensor", "hgn", "fl", "metrics"];
+
+/// A full analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed ones included.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the build.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Count of failing findings.
+    pub fn unsuppressed_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Count of reasoned exemptions.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed).count()
+    }
+
+    /// Machine-readable report (stable field order, hand-rolled so the
+    /// analyzer stays dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": \"{}\", ", escape_json(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"col\": {}, ", f.col));
+            out.push_str(&format!("\"rule\": \"{}\", ", f.rule));
+            out.push_str(&format!("\"message\": \"{}\", ", escape_json(&f.message)));
+            out.push_str(&format!("\"suppressed\": {}", f.suppressed));
+            if let Some(r) = &f.reason {
+                out.push_str(&format!(", \"reason\": \"{}\"", escape_json(r)));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"files_scanned\": {}, \"unsuppressed\": {}, \"suppressed\": {}}}\n}}\n",
+            self.files_scanned,
+            self.unsuppressed_count(),
+            self.suppressed_count()
+        ));
+        out
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in self.findings.iter().filter(|f| !f.suppressed) {
+            out.push_str(&format!(
+                "{}:{}:{}: error[{}]: {}\n",
+                f.file, f.line, f.col, f.rule, f.message
+            ));
+        }
+        let suppressed: Vec<&Finding> = self.findings.iter().filter(|f| f.suppressed).collect();
+        if !suppressed.is_empty() {
+            out.push_str(&format!(
+                "\n{} reasoned exemption(s) in force:\n",
+                suppressed.len()
+            ));
+            for f in suppressed {
+                out.push_str(&format!(
+                    "  {}:{}: allow[{}]: {}\n",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    f.reason.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\nfedda-lint: {} file(s), {} finding(s), {} suppressed\n",
+            self.files_scanned,
+            self.unsuppressed_count(),
+            self.suppressed_count()
+        ));
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for stable output).
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs") == Some(true) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze a set of files. Paths are reported relative to `root` when they
+/// live under it.
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in files {
+        let source = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.findings.extend(scan_file(&rel, &source));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Analyze the library sources of every scanned crate under `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for krate in SCANNED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files)?;
+        }
+    }
+    analyze_files(root, &files)
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "a\\b.rs".into(),
+                line: 1,
+                col: 2,
+                rule: rules::FLOAT_EQ,
+                message: "say \"why\"".into(),
+                suppressed: false,
+                reason: None,
+            }],
+            files_scanned: 1,
+        };
+        let json = report.to_json();
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("say \\\"why\\\""));
+        assert!(json.contains("\"unsuppressed\": 1"));
+    }
+}

@@ -1,0 +1,74 @@
+//! `fedda-lint` CLI.
+//!
+//! ```text
+//! fedda-lint [--json] [--root DIR] [FILES...]
+//! ```
+//!
+//! With no `FILES`, scans the library sources (`crates/*/src`) of every
+//! in-scope crate of the workspace found at `--root` (default: walk up from
+//! the current directory). Exits nonzero when any unsuppressed finding
+//! remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("fedda-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: fedda-lint [--json] [--root DIR] [FILES...]");
+                println!("rules: {}", fedda_analyzer::rules::RULE_IDS.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| fedda_analyzer::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("fedda-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if files.is_empty() {
+        fedda_analyzer::analyze_workspace(&root)
+    } else {
+        fedda_analyzer::analyze_files(&root, &files)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fedda-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.unsuppressed_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,609 @@
+//! The rule set (D1–D5) and the per-file scanner.
+//!
+//! Rules operate on the lexer's masked code, so they cannot fire inside
+//! comments, strings or char literals. Each rule is scoped to the crates
+//! where its invariant matters; findings inside `#[cfg(test)]` spans are
+//! dropped (the invariants are about library code).
+
+use crate::lexer::{mask, test_spans, Comment};
+
+/// D1: no `HashMap`/`HashSet` in deterministic crates.
+pub const HASH_COLLECTION: &str = "hash-collection";
+/// D2: no ambient nondeterminism or wall-clock in protocol code.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// D3: no `unwrap`/`expect`/`panic!`/`todo!` in library code of core crates.
+pub const PANIC_PATH: &str = "panic-path";
+/// D4: no float `==` / `!=` comparisons.
+pub const FLOAT_EQ: &str = "float-eq";
+/// D5: no potentially-truncating `as` casts in comm accounting code.
+pub const NARROWING_CAST: &str = "narrowing-cast";
+/// Meta-rule: a `fedda-lint: allow(...)` directive that is malformed,
+/// names an unknown rule, or lacks a reason.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+/// Meta-rule: a well-formed directive that suppressed nothing.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// Crates whose iteration order feeds seeded reproducibility (D1).
+pub const DETERMINISTIC_CRATES: &[&str] = &["data", "hetgraph", "tensor", "hgn", "fl"];
+/// Crates where library panics are banned (D3) and float equality needs a
+/// reason (D4).
+pub const CORE_CRATES: &[&str] = &["data", "hetgraph", "tensor", "hgn", "fl", "metrics"];
+/// Protocol / aggregation crates (D2, D5).
+pub const PROTOCOL_CRATES: &[&str] = &["fl"];
+
+/// All suppressible rule ids.
+pub const RULE_IDS: &[&str] = &[
+    HASH_COLLECTION,
+    WALL_CLOCK,
+    PANIC_PATH,
+    FLOAT_EQ,
+    NARROWING_CAST,
+];
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (characters).
+    pub col: usize,
+    /// Rule id (one of the `RULE_IDS` or a meta-rule).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// True when an in-tree directive suppressed this finding.
+    pub suppressed: bool,
+    /// The directive's reason string, when suppressed.
+    pub reason: Option<String>,
+}
+
+/// A parsed `// fedda-lint: allow(rule, reason = "...")` directive.
+#[derive(Clone, Debug)]
+struct Suppression {
+    rule: String,
+    reason: String,
+    /// The line the directive suppresses findings on.
+    target_line: usize,
+    /// The line the directive itself sits on.
+    directive_line: usize,
+    directive_col: usize,
+    used: bool,
+}
+
+/// Which rule scopes apply to a file, derived from its path (or, for files
+/// outside `crates/<name>/`, from a `//@ crate: <name>` header).
+fn crate_of(path: &str, source: &str) -> Option<String> {
+    for line in source.lines().take(5) {
+        if let Some(rest) = line.trim().strip_prefix("//@ crate:") {
+            return Some(rest.trim().to_string());
+        }
+    }
+    let norm = path.replace('\\', "/");
+    let mut parts = norm.split('/').peekable();
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            return parts.peek().map(|s| s.to_string());
+        }
+    }
+    None
+}
+
+fn in_scope(krate: Option<&str>, scope: &[&str]) -> bool {
+    // Files with no derivable crate (ad-hoc CLI targets) get every rule.
+    match krate {
+        None => true,
+        Some(k) => scope.contains(&k),
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `needle` in `hay` at identifier boundaries.
+fn ident_occurrences(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(hay[..at].chars().next_back().unwrap_or(' '));
+        let after = hay[at + needle.len()..].chars().next().unwrap_or(' ');
+        // `::` after the needle is fine (`HashMap::new`), an ident char is
+        // not (`unwrap_or`).
+        if before_ok && !is_ident_char(after) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Does `token` look like a float literal (`0.0`, `1.`, `.5`, `1e-6`,
+/// `2.5f32`)?
+fn is_float_literal(token: &str) -> bool {
+    let t = token
+        .trim_end_matches("f32")
+        .trim_end_matches("f64")
+        .trim_end_matches('_');
+    if t.is_empty() {
+        return false;
+    }
+    let has_digit = t.chars().any(|c| c.is_ascii_digit());
+    if !has_digit {
+        return false;
+    }
+    let has_dot = t.contains('.');
+    let has_exp = !t.starts_with("0x")
+        && !t.starts_with("0b")
+        && (t.contains('e') || t.contains('E'))
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, 'e' | 'E' | '+' | '-' | '.' | '_'));
+    if !(has_dot || has_exp) {
+        return false;
+    }
+    t.chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-' | '_'))
+}
+
+/// The token (maximal run of non-space, non-comparison chars) ending at
+/// `end` (exclusive).
+fn token_before(line: &str, end: usize) -> &str {
+    let boundary = |c: char| c.is_whitespace() || matches!(c, '(' | ',' | '=' | '!' | '<' | '>');
+    let chars: Vec<(usize, char)> = line[..end].char_indices().collect();
+    let mut start = 0usize;
+    for &(i, c) in chars.iter().rev() {
+        if boundary(c) {
+            start = i + c.len_utf8();
+            break;
+        }
+    }
+    line[start..end].trim()
+}
+
+/// The token starting at `start`.
+fn token_after(line: &str, start: usize) -> &str {
+    let boundary =
+        |c: char| c.is_whitespace() || matches!(c, ')' | ',' | ';' | '=' | '!' | '<' | '>' | '{');
+    let rest = &line[start..];
+    let rest = rest.trim_start();
+    let end = rest.find(boundary).unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Scan one file and return its findings (suppressed ones included, with
+/// their reasons attached).
+pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
+    let krate = crate_of(path, source);
+    let krate = krate.as_deref();
+    let masked = mask(source);
+    let spans = test_spans(&masked.code);
+    let mut suppressions = parse_suppressions(&masked.comments, &masked.code, &spans);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Byte offset of each line start in the masked code, to map (line, col
+    // in chars) findings and test spans onto each other.
+    let mut line_starts = vec![0usize];
+    for (i, b) in masked.code.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let in_test = |line: usize, byte_in_line: usize| -> bool {
+        let off = line_starts[line - 1] + byte_in_line;
+        spans.iter().any(|&(s, e)| off >= s && off < e)
+    };
+
+    let mut push =
+        |line: usize, byte_col: usize, char_col: usize, rule: &'static str, message: String| {
+            if in_test(line, byte_col) {
+                return;
+            }
+            findings.push(Finding {
+                file: path.to_string(),
+                line,
+                col: char_col,
+                rule,
+                message,
+                suppressed: false,
+                reason: None,
+            });
+        };
+
+    for (lineno, line) in masked.code.lines().enumerate() {
+        let lineno = lineno + 1;
+        let char_col = |byte: usize| line[..byte].chars().count() + 1;
+
+        // D1 — hash collections in deterministic crates.
+        if in_scope(krate, DETERMINISTIC_CRATES) {
+            for name in ["HashMap", "HashSet"] {
+                for at in ident_occurrences(line, name) {
+                    push(
+                        lineno,
+                        at,
+                        char_col(at),
+                        HASH_COLLECTION,
+                        format!(
+                            "`{name}` in a deterministic crate: unordered iteration breaks \
+                             seeded reproducibility; use `BTreeMap`/`BTreeSet` or sort keys \
+                             before iterating"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // D2 — ambient nondeterminism / wall-clock in protocol code.
+        if in_scope(krate, PROTOCOL_CRATES) {
+            for pat in ["thread_rng", "SystemTime"] {
+                for at in ident_occurrences(line, pat) {
+                    push(
+                        lineno,
+                        at,
+                        char_col(at),
+                        WALL_CLOCK,
+                        format!(
+                            "ambient nondeterminism (`{pat}`) in protocol code: seeded \
+                             reproducibility requires explicit RNG streams and logical time"
+                        ),
+                    );
+                }
+            }
+            let mut from = 0usize;
+            while let Some(pos) = line[from..].find("Instant::now") {
+                let at = from + pos;
+                push(
+                    lineno,
+                    at,
+                    char_col(at),
+                    WALL_CLOCK,
+                    "wall-clock read (`Instant::now`) in protocol code: timing telemetry \
+                     must carry an explicit suppression with a reason"
+                        .to_string(),
+                );
+                from = at + "Instant::now".len();
+            }
+        }
+
+        // D3 — panicking calls in library code of core crates.
+        if in_scope(krate, CORE_CRATES) {
+            for name in ["unwrap", "expect"] {
+                for at in ident_occurrences(line, name) {
+                    // Only method-call position: `.unwrap()` / `.expect(`.
+                    let dotted = line[..at].trim_end().ends_with('.');
+                    if !dotted {
+                        continue;
+                    }
+                    push(
+                        lineno,
+                        at,
+                        char_col(at),
+                        PANIC_PATH,
+                        format!(
+                            "`.{name}()` in non-test library code: propagate a `Result` or \
+                             add a reasoned `fedda-lint: allow({PANIC_PATH}, ...)` suppression"
+                        ),
+                    );
+                }
+            }
+            for mac in ["panic!", "todo!", "unimplemented!"] {
+                let bare = &mac[..mac.len() - 1];
+                for at in ident_occurrences(line, bare) {
+                    if line[at + bare.len()..].starts_with('!') {
+                        push(
+                            lineno,
+                            at,
+                            char_col(at),
+                            PANIC_PATH,
+                            format!("`{mac}` in non-test library code"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // D4 — float equality.
+        if in_scope(krate, CORE_CRATES) {
+            let bytes = line.as_bytes();
+            let mut i = 0usize;
+            while i + 1 < bytes.len() {
+                let two = &line[i..i + 2];
+                if (two == "==" || two == "!=")
+                    && (i == 0 || !matches!(bytes[i - 1], b'=' | b'<' | b'>' | b'!'))
+                    && line[i + 2..].bytes().next() != Some(b'=')
+                {
+                    let lhs = token_before(line, i);
+                    let rhs = token_after(line, i + 2);
+                    if is_float_literal(lhs) || is_float_literal(rhs) {
+                        push(
+                            lineno,
+                            i,
+                            char_col(i),
+                            FLOAT_EQ,
+                            format!(
+                                "float `{two}` comparison (`{lhs} {two} {rhs}`): compare \
+                                 within an epsilon, or justify exactness with a suppression"
+                            ),
+                        );
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+
+        // D5 — narrowing integer casts in comm/protocol accounting.
+        if in_scope(krate, PROTOCOL_CRATES) {
+            for at in ident_occurrences(line, "as") {
+                let target = token_after(line, at + 2);
+                let target = target.trim_end_matches(|c: char| !c.is_alphanumeric());
+                if matches!(target, "u8" | "u16" | "u32" | "i8" | "i16" | "i32") {
+                    push(
+                        lineno,
+                        at,
+                        char_col(at),
+                        NARROWING_CAST,
+                        format!(
+                            "potentially-truncating `as {target}` cast in protocol/ledger \
+                             code: use `{target}::try_from` (or widen the accumulator)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Apply suppressions (one line-scoped directive covers every matching
+    // finding on its target line).
+    for f in &mut findings {
+        if let Some(sup) = suppressions
+            .iter_mut()
+            .find(|s| s.rule == f.rule && s.target_line == f.line)
+        {
+            f.suppressed = true;
+            f.reason = Some(sup.reason.clone());
+            sup.used = true;
+        }
+    }
+    for sup in &suppressions {
+        if !sup.used {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: sup.directive_line,
+                col: sup.directive_col,
+                rule: UNUSED_SUPPRESSION,
+                message: format!(
+                    "suppression `allow({})` matches no finding on line {}: remove it",
+                    sup.rule, sup.target_line
+                ),
+                suppressed: false,
+                reason: None,
+            });
+        }
+    }
+    findings.extend(bad_directives(path, &masked.comments, &spans, &line_starts));
+    findings.sort_by_key(|a| (a.line, a.col));
+    findings
+}
+
+/// Parse well-formed directives out of comments; malformed ones are
+/// reported by [`bad_directives`]. Directives inside test spans are
+/// ignored entirely.
+fn parse_suppressions(
+    comments: &[Comment],
+    code: &str,
+    spans: &[(usize, usize)],
+) -> Vec<Suppression> {
+    let mut line_starts = vec![0usize];
+    for (i, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let mut out = Vec::new();
+    for c in comments {
+        let Some((rule, reason)) = parse_directive(&c.text) else {
+            continue;
+        };
+        if !RULE_IDS.contains(&rule.as_str()) || reason.is_empty() {
+            continue; // reported as bad-suppression
+        }
+        let off = line_starts.get(c.line - 1).copied().unwrap_or(0);
+        if spans.iter().any(|&(s, e)| off >= s && off < e) {
+            continue;
+        }
+        out.push(Suppression {
+            rule,
+            reason,
+            target_line: if c.trailing { c.line } else { c.line + 1 },
+            directive_line: c.line,
+            directive_col: c.col,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Extract `(rule, reason)` from a directive comment, or `None` when the
+/// comment is not a directive at all. A directive with a missing/empty
+/// reason returns `Some((rule, ""))` so it can be reported.
+fn parse_directive(text: &str) -> Option<(String, String)> {
+    let at = text.find("fedda-lint:")?;
+    let rest = text[at + "fedda-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let reason = tail
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim())
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.rfind('"').map(|end| r[..end].to_string()))
+        .unwrap_or_default();
+    Some((rule.to_string(), reason))
+}
+
+/// Report malformed directives: unknown rule, or missing reason.
+fn bad_directives(
+    path: &str,
+    comments: &[Comment],
+    spans: &[(usize, usize)],
+    line_starts: &[usize],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some((rule, reason)) = parse_directive(&c.text) else {
+            if c.text.contains("fedda-lint:") {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    rule: BAD_SUPPRESSION,
+                    message: "malformed `fedda-lint:` directive: expected \
+                              `fedda-lint: allow(rule, reason = \"...\")`"
+                        .to_string(),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+            continue;
+        };
+        let off = line_starts.get(c.line - 1).copied().unwrap_or(0);
+        if spans.iter().any(|&(s, e)| off >= s && off < e) {
+            continue;
+        }
+        if !RULE_IDS.contains(&rule.as_str()) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: BAD_SUPPRESSION,
+                message: format!(
+                    "suppression names unknown rule `{rule}` (known: {})",
+                    RULE_IDS.join(", ")
+                ),
+                suppressed: false,
+                reason: None,
+            });
+        } else if reason.is_empty() {
+            out.push(Finding {
+                file: path.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: BAD_SUPPRESSION,
+                message: format!(
+                    "suppression for `{rule}` carries no reason: every exemption must \
+                     say why (`reason = \"...\"`)"
+                ),
+                suppressed: false,
+                reason: None,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings
+            .iter()
+            .filter(|f| !f.suppressed)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&scan_file("crates/fl/src/x.rs", src)),
+            vec![HASH_COLLECTION]
+        );
+        assert!(rules_of(&scan_file("crates/metrics/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d3_skips_unwrap_or_and_test_mods() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+                   #[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n";
+        assert!(rules_of(&scan_file("crates/fl/src/x.rs", src)).is_empty());
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            rules_of(&scan_file("crates/fl/src/x.rs", bad)),
+            vec![PANIC_PATH]
+        );
+    }
+
+    #[test]
+    fn d4_needs_a_float_literal_operand() {
+        let flagged = "fn f(x: f32) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules_of(&scan_file("crates/tensor/src/x.rs", flagged)),
+            vec![FLOAT_EQ]
+        );
+        let int = "fn f(x: usize) -> bool { x == 0 }\n";
+        assert!(rules_of(&scan_file("crates/tensor/src/x.rs", int)).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_downgrades_and_is_counted() {
+        let src = "fn f() {\n    // fedda-lint: allow(wall-clock, reason = \"telemetry\")\n    let t = Instant::now();\n}\n";
+        let fs = scan_file("crates/fl/src/x.rs", src);
+        assert!(rules_of(&fs).is_empty());
+        let sup: Vec<_> = fs.iter().filter(|f| f.suppressed).collect();
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].reason.as_deref(), Some("telemetry"));
+    }
+
+    #[test]
+    fn trailing_suppression_applies_to_its_own_line() {
+        let src =
+            "fn f() { let t = Instant::now(); } // fedda-lint: allow(wall-clock, reason = \"x\")\n";
+        let fs = scan_file("crates/fl/src/x.rs", src);
+        assert!(rules_of(&fs).is_empty());
+        assert_eq!(fs.iter().filter(|f| f.suppressed).count(), 1);
+    }
+
+    #[test]
+    fn reasonless_and_unused_suppressions_are_findings() {
+        let no_reason = "// fedda-lint: allow(wall-clock)\nlet t = Instant::now();\n";
+        let fs = scan_file("crates/fl/src/x.rs", no_reason);
+        assert!(fs.iter().any(|f| f.rule == BAD_SUPPRESSION));
+        let unused = "// fedda-lint: allow(wall-clock, reason = \"no-op\")\nlet x = 1;\n";
+        let fs = scan_file("crates/fl/src/x.rs", unused);
+        assert!(fs.iter().any(|f| f.rule == UNUSED_SUPPRESSION));
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_fire() {
+        let src =
+            "// HashMap unwrap() panic!\nfn f() -> &'static str { \"Instant::now x == 0.0\" }\n";
+        assert!(rules_of(&scan_file("crates/fl/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d5_flags_narrowing_casts_only() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }\nfn g(x: u32) -> u64 { x as u64 }\n";
+        assert_eq!(
+            rules_of(&scan_file("crates/fl/src/x.rs", src)),
+            vec![NARROWING_CAST]
+        );
+    }
+
+    #[test]
+    fn crate_header_overrides_path() {
+        let src = "//@ crate: fl\nlet t = Instant::now();\n";
+        assert_eq!(rules_of(&scan_file("fixtures/x.rs", src)), vec![WALL_CLOCK]);
+    }
+}

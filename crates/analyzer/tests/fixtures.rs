@@ -1,0 +1,144 @@
+//! Each fixture under `fixtures/` is self-describing: its `//@ expect:`
+//! header lists exactly the findings the analyzer must produce for it
+//! (`rule` for an unsuppressed finding, `suppressed rule` for a reasoned
+//! exemption, empty for a clean file). This pins both directions: every rule
+//! fires on its known-bad snippet, and nothing fires where nothing should.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn expected_findings(source: &str) -> Vec<String> {
+    let line = source
+        .lines()
+        .find(|l| l.starts_with("//@ expect:"))
+        .expect("fixture missing //@ expect: header");
+    line["//@ expect:".len()..]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn actual_findings(path: &PathBuf) -> Vec<String> {
+    let source = std::fs::read_to_string(path).unwrap();
+    fedda_analyzer::scan_file(&path.to_string_lossy(), &source)
+        .into_iter()
+        .map(|f| {
+            if f.suppressed {
+                format!("suppressed {}", f.rule)
+            } else {
+                f.rule.to_string()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn every_fixture_triggers_exactly_its_expected_rules() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(fixtures_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "rs") != Some(true) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        let mut expected = expected_findings(&source);
+        let mut actual = actual_findings(&path);
+        expected.sort();
+        actual.sort();
+        assert_eq!(
+            actual,
+            expected,
+            "finding mismatch for fixture {}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 9, "expected >= 9 fixtures, found {checked}");
+}
+
+#[test]
+fn suppressed_findings_always_carry_their_reason() {
+    for entry in std::fs::read_dir(fixtures_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().map(|e| e == "rs") != Some(true) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        for f in fedda_analyzer::scan_file(&path.to_string_lossy(), &source) {
+            if f.suppressed {
+                assert!(
+                    f.reason.as_deref().is_some_and(|r| !r.is_empty()),
+                    "suppressed finding without a reason in {}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+fn run_lint(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fedda-lint"))
+        .args(args)
+        .output()
+        .expect("failed to launch fedda-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn binary_exits_nonzero_on_bad_fixtures() {
+    let dir = fixtures_dir();
+    for bad in [
+        "hash_collection.rs",
+        "wall_clock.rs",
+        "panic_path.rs",
+        "float_eq.rs",
+        "narrowing_cast.rs",
+        "missing_reason.rs",
+        "unused_allow.rs",
+    ] {
+        let path = dir.join(bad);
+        let (code, _) = run_lint(&["--root", dir.to_str().unwrap(), path.to_str().unwrap()]);
+        assert_eq!(code, 1, "expected exit 1 for {bad}");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_and_suppressed_fixtures() {
+    let dir = fixtures_dir();
+    for good in ["clean.rs", "suppressed_ok.rs"] {
+        let path = dir.join(good);
+        let (code, _) = run_lint(&["--root", dir.to_str().unwrap(), path.to_str().unwrap()]);
+        assert_eq!(code, 0, "expected exit 0 for {good}");
+    }
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let dir = fixtures_dir();
+    let path = dir.join("suppressed_ok.rs");
+    let (code, stdout) = run_lint(&[
+        "--json",
+        "--root",
+        dir.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"findings\""), "missing findings array");
+    assert!(
+        stdout.contains("\"unsuppressed\": 0"),
+        "bad summary: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"suppressed\": 2"),
+        "bad summary: {stdout}"
+    );
+    assert!(stdout.contains("\"reason\""), "reasons must be exported");
+}

@@ -251,16 +251,30 @@ mod tests {
         let cfg = PartitionConfig::paper_defaults(4, g.schema().num_edge_types(), 11);
         let a = partition_non_iid(&g, &cfg);
         let b = partition_non_iid(&g, &cfg);
+        // Full edge-list equality, not just counts: same seed must reproduce
+        // every client graph edge-for-edge, in the same order.
+        let edges = |c: &ClientData| -> Vec<(u16, u32, u32)> {
+            c.graph
+                .schema()
+                .edge_type_ids()
+                .flat_map(|t| {
+                    c.graph
+                        .edges_of_type(t)
+                        .iter()
+                        .map(move |(s, d)| (t.0, s, d))
+                })
+                .collect()
+        };
         for (ca, cb) in a.iter().zip(&b) {
             assert_eq!(ca.specialized, cb.specialized);
-            assert_eq!(ca.graph.edge_counts(), cb.graph.edge_counts());
+            assert_eq!(edges(ca), edges(cb));
         }
     }
 
     #[test]
     fn client_seeds_are_distinct() {
         let seeds = client_seeds(0, 16);
-        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        let unique: std::collections::BTreeSet<_> = seeds.iter().collect();
         assert_eq!(unique.len(), 16);
     }
 

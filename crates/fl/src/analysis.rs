@@ -57,19 +57,22 @@ pub fn restart_period(r_c: f64, beta_r: f64) -> usize {
 /// `E[#cp] = M·N · (1 - r_c^{t_0+1}) / (1 - r_c)
 ///          - M·N_d · (r_c·r_p - (r_c·r_p)^{t_0+1}) / (1 - r_c·r_p)`.
 pub fn restart_expected_units(inp: &EfficiencyInputs, t0: usize) -> f64 {
+    // fedda-lint: allow(panic-path, reason = "documented precondition; EfficiencyInputs::validate errors are caller bugs, not runtime data")
     inp.validate().expect("invalid inputs");
     let (m, n, n_d) = (inp.m as f64, inp.n as f64, inp.n_d as f64);
     let rc = inp.r_c;
     let rcrp = inp.r_c * inp.r_p;
-    let geom = |r: f64, from_pow: u32, to_pow: u32| -> f64 {
+    let geom = |r: f64, from_pow: i32, to_pow: i32| -> f64 {
         // sum_{k=from}^{to} r^k, handling r = 1
         if (r - 1.0).abs() < 1e-12 {
             f64::from(to_pow - from_pow + 1)
         } else {
-            (r.powi(from_pow as i32) - r.powi(to_pow as i32 + 1)) / (1.0 - r)
+            (r.powi(from_pow) - r.powi(to_pow.saturating_add(1))) / (1.0 - r)
         }
     };
-    let t0 = t0 as u32;
+    // Saturating conversion: t0 beyond i32::MAX rounds means the geometric
+    // sums have long since converged, so the cap is exact in f64 anyway.
+    let t0 = i32::try_from(t0).unwrap_or(i32::MAX);
     // (1 - rc^{t0+1}) / (1 - rc) = sum_{k=0}^{t0} rc^k
     let clients_term = m * n * geom(rc, 0, t0);
     // (rcrp - rcrp^{t0+1}) / (1 - rcrp) = sum_{k=1}^{t0} rcrp^k
@@ -93,6 +96,7 @@ pub fn restart_ratio(inp: &EfficiencyInputs, beta_r: f64) -> f64 {
 /// ratio against FedAvg (valid from the second round on):
 /// `E[#cp] / (M·N) ≤ β_e - β_e · r_c · r_p · N_d / N`.
 pub fn explore_ratio_bound(inp: &EfficiencyInputs, beta_e: f64) -> f64 {
+    // fedda-lint: allow(panic-path, reason = "documented precondition; EfficiencyInputs::validate errors are caller bugs, not runtime data")
     inp.validate().expect("invalid inputs");
     assert!((0.0..1.0).contains(&beta_e), "beta_e in (0,1)");
     beta_e - beta_e * inp.r_c * inp.r_p * (inp.n_d as f64 / inp.n as f64)
@@ -107,6 +111,7 @@ pub fn explore_expected_units(
     gamma: f64,
     r_p_hat: f64,
 ) -> f64 {
+    // fedda-lint: allow(panic-path, reason = "documented precondition; EfficiencyInputs::validate errors are caller bugs, not runtime data")
     inp.validate().expect("invalid inputs");
     assert!((0.0..=1.0).contains(&gamma), "gamma in [0,1]");
     assert!(r_p_hat >= inp.r_p - 1e-9, "r_p_hat must be ≥ r_p");

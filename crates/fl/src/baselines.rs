@@ -26,6 +26,7 @@ use rand::SeedableRng;
 pub fn run_global(system: &mut FlSystem) -> RunResult {
     RoundDriver::new()
         .run(&mut GlobalProtocol::new(), system)
+        // fedda-lint: allow(panic-path, reason = "GlobalProtocol::begin is infallible, so RoundDriver::run cannot return Err for it")
         .expect("the Global baseline has no invalid configurations")
 }
 
@@ -109,6 +110,7 @@ impl FlProtocol for GlobalProtocol {
         _round: usize,
         rng: &mut StdRng,
     ) -> StepOutcome {
+        // fedda-lint: allow(panic-path, reason = "RoundDriver calls begin() before any round hook; a missing state is a protocol-engine bug")
         let state = self.state.as_ref().expect("begin() initialises the state");
         let sampler = LinkSampler::new(&state.graph);
         train_local(

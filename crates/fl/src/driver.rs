@@ -81,6 +81,7 @@ impl<'a> RoundDriver<'a> {
 
         let mut result = RunResult::default();
         for round in 0..rounds {
+            // fedda-lint: allow(wall-clock, reason = "round wall-time telemetry only; never feeds selection, masking, aggregation or any logged curve")
             let started = Instant::now();
             let active = protocol.select_clients(system, round, &mut rng);
             let masks = protocol.build_masks(system, &active, round, &mut rng);
@@ -210,6 +211,7 @@ fn run_faulted_round(
         }
         let mut ret = returns_iter
             .next()
+            // fedda-lint: allow(panic-path, reason = "run_local_round returns exactly one entry per non-dropout client; a shortfall is driver-internal corruption")
             .expect("one return per reporting client");
         debug_assert_eq!(ret.client, client);
         match fault {

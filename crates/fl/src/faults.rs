@@ -76,7 +76,11 @@ impl StalenessPolicy {
     pub fn weight(&self, staleness: usize) -> Option<f64> {
         match *self {
             StalenessPolicy::Discard => None,
-            StalenessPolicy::Discount { gamma } => Some(gamma.powi(staleness as i32)),
+            StalenessPolicy::Discount { gamma } => {
+                // Saturating: gamma in (0,1], so an absurd staleness just
+                // drives the weight to its limit (0 or 1) instead of wrapping.
+                Some(gamma.powi(i32::try_from(staleness).unwrap_or(i32::MAX)))
+            }
         }
     }
 }
@@ -189,6 +193,7 @@ impl FaultConfig {
             }
         }
         if let Corruption::Garbage { scale } = self.corruption_kind {
+            // fedda-lint: allow(float-eq, reason = "config validation rejecting the exact literal 0.0, which would make Garbage a silent no-op; no computed values reach here")
             if !scale.is_finite() || scale == 0.0 {
                 return Err(format!(
                     "garbage corruption scale must be finite and non-zero, got {scale}"

@@ -63,6 +63,7 @@ impl FedAvg {
     pub fn run(&self, system: &mut FlSystem) -> RunResult {
         RoundDriver::new()
             .run(&mut self.clone(), system)
+            // fedda-lint: allow(panic-path, reason = "documented panic in the method contract above; fallible callers use RoundDriver directly")
             .expect("invalid FedAvg configuration")
     }
 }

@@ -103,7 +103,7 @@ impl MaskRule {
 fn quantile(values: &[f32], q: f64) -> f32 {
     debug_assert!(!values.is_empty());
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN magnitude"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -214,6 +214,7 @@ impl FedDa {
     pub fn run(&self, system: &mut FlSystem) -> RunResult {
         RoundDriver::new()
             .run(&mut self.protocol(), system)
+            // fedda-lint: allow(panic-path, reason = "documented panic in the method contract above; fallible callers use RoundDriver directly")
             .expect("invalid FedDA configuration")
     }
 
@@ -262,7 +263,9 @@ impl FedDa {
                         continue; // a single contributor is never below threshold
                     }
                     let magnitudes: Vec<f32> = contributions.iter().map(|&(_, d)| d).collect();
-                    let threshold = rule.threshold(&magnitudes).expect("threshold-based rule");
+                    let Some(threshold) = rule.threshold(&magnitudes) else {
+                        continue; // LiteralEq7 is handled by the arm above
+                    };
                     for &(client, delta) in &contributions {
                         if delta < threshold {
                             masks[client][k] = false;

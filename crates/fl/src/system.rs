@@ -370,6 +370,7 @@ impl FlSystem {
                 &mut rng,
             );
             if let Some(privacy) = self.cfg.privacy {
+                // fedda-lint: allow(panic-path, reason = "config is validated at system construction; this re-check only guards hand-built FlSystem values")
                 privacy.validate().expect("invalid PrivacyConfig");
                 apply_privacy(&mut params, &self.global, privacy, &mut rng);
             }
@@ -391,11 +392,14 @@ impl FlSystem {
                     );
                 }
                 for (slot, h) in out.iter_mut().zip(handles) {
+                    // fedda-lint: allow(panic-path, reason = "re-raises a client-thread panic on the caller; swallowing it would aggregate a half-trained round")
                     *slot = Some(h.join().expect("client thread panicked"));
                 }
             })
+            // fedda-lint: allow(panic-path, reason = "re-raises a worker panic after the scope unwinds; there is no partial result to salvage")
             .expect("crossbeam scope failed");
             out.into_iter()
+                // fedda-lint: allow(panic-path, reason = "every slot is filled by the join loop above; an empty slot is scope-internal corruption")
                 .map(|o| o.expect("missing client return"))
                 .collect()
         } else {

@@ -1,0 +1,117 @@
+//! End-to-end determinism: a short FedDA run must be bit-identical across
+//! repeated executions, across kernel-thread budgets, and across the
+//! parallel/sequential client dispatch paths. This is the guarantee the
+//! fedda-lint rules (no hash collections, no wall-clock in protocol code)
+//! and the bit-identical GEMM kernels exist to protect.
+//!
+//! Thread budgets are varied in-process with `with_kernel_threads`, which
+//! only tightens the configured `FEDDA_THREADS` cap — under a CI run pinned
+//! to one thread both arms collapse to the same budget, which still
+//! satisfies (trivially) the equality being asserted; the multi-thread CI
+//! job exercises the real 4-vs-1 comparison.
+
+use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
+use fedda_fl::{FedDa, FlConfig, FlSystem, RunResult};
+use fedda_hetgraph::split::split_edges;
+use fedda_hgn::{HgnConfig, TrainConfig};
+use fedda_tensor::gemm::with_kernel_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 4;
+const ROUNDS: usize = 3;
+const SEED: u64 = 1234;
+
+fn build_system(parallel: bool) -> FlSystem {
+    let g = dblp_like(&PresetOptions {
+        scale: 0.0012,
+        seed: SEED,
+        ..Default::default()
+    })
+    .graph;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let split = split_edges(&g, 0.15, &mut rng);
+    let pcfg = PartitionConfig::paper_defaults(M, g.schema().num_edge_types(), SEED);
+    let clients = partition_non_iid(&split.train, &pcfg);
+    let cfg = FlConfig {
+        rounds: ROUNDS,
+        model: HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 2,
+            edge_emb_dim: 4,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        eval_negatives: 3,
+        seed: SEED,
+        parallel,
+        ..Default::default()
+    };
+    FlSystem::new(&split.train, &split.test, clients, cfg)
+}
+
+/// Everything observable about a run, in bit-exact form.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    curve: Vec<(usize, u64, u64)>,
+    comm: Vec<fedda_fl::RoundComm>,
+    activation: Vec<fedda_fl::ActivationSnapshot>,
+    final_params: Vec<u32>,
+}
+
+fn fingerprint(result: &RunResult, system: &FlSystem) -> Fingerprint {
+    Fingerprint {
+        curve: result
+            .curve
+            .iter()
+            .map(|e| (e.round, e.roc_auc.to_bits(), e.mrr.to_bits()))
+            .collect(),
+        comm: result.comm.rounds().to_vec(),
+        activation: result.activation_trace.clone(),
+        final_params: system
+            .global
+            .flatten()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect(),
+    }
+}
+
+fn run_fedda(fedda: &FedDa, parallel: bool, kernel_threads: usize) -> Fingerprint {
+    with_kernel_threads(kernel_threads, || {
+        let mut sys = build_system(parallel);
+        let result = fedda.run(&mut sys);
+        fingerprint(&result, &sys)
+    })
+}
+
+fn assert_invariant_under_execution_strategy(fedda: &FedDa, name: &str) {
+    let reference = run_fedda(fedda, true, 1);
+    assert_eq!(
+        reference.curve.len(),
+        ROUNDS,
+        "{name}: expected one eval per round"
+    );
+    for (parallel, threads) in [(true, 4), (false, 1), (false, 4), (true, 1)] {
+        let other = run_fedda(fedda, parallel, threads);
+        assert_eq!(
+            reference, other,
+            "{name}: run diverged under parallel={parallel}, kernel_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn fedda_restart_is_bit_identical_across_threads_and_dispatch() {
+    assert_invariant_under_execution_strategy(&FedDa::restart(), "FedDA-Restart");
+}
+
+#[test]
+fn fedda_explore_is_bit_identical_across_threads_and_dispatch() {
+    assert_invariant_under_execution_strategy(&FedDa::explore(), "FedDA-Explore");
+}

@@ -6,7 +6,7 @@
 
 use crate::graph::{EdgeList, HeteroGraph, NodeId};
 use crate::schema::EdgeTypeId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Errors from metapath composition.
 #[derive(Debug, PartialEq, Eq)]
@@ -80,13 +80,13 @@ pub fn compose_metapath(
     // type, walk the chain.
     let first_src_type = schema.edge_type(path[0]).src_type;
     let starts = graph.nodes().nodes_of_type(first_src_type);
-    let mut pairs: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
     let adjs: Vec<Vec<Vec<NodeId>>> = path.iter().map(|&t| adjacency(t)).collect();
     for &start in starts {
-        let mut frontier: HashSet<NodeId> = HashSet::new();
+        let mut frontier: BTreeSet<NodeId> = BTreeSet::new();
         frontier.insert(start);
         for adj in &adjs {
-            let mut next = HashSet::new();
+            let mut next = BTreeSet::new();
             for &v in &frontier {
                 for &w in &adj[v as usize] {
                     next.insert(w);

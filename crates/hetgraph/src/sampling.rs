@@ -11,7 +11,7 @@ use crate::graph::{HeteroGraph, NodeId};
 use crate::schema::EdgeTypeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One labelled example for the link-prediction loss/metrics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,13 +30,13 @@ pub struct LinkExample {
 pub struct LinkSampler<'g> {
     graph: &'g HeteroGraph,
     /// Existing edges as (etype, src, dst) for negative rejection.
-    existing: HashSet<(u16, NodeId, NodeId)>,
+    existing: BTreeSet<(u16, NodeId, NodeId)>,
 }
 
 impl<'g> LinkSampler<'g> {
     /// Build a sampler; indexes the graph's edges for negative rejection.
     pub fn new(graph: &'g HeteroGraph) -> Self {
-        let mut existing = HashSet::with_capacity(graph.num_edges());
+        let mut existing = BTreeSet::new();
         for t in graph.schema().edge_type_ids() {
             for (s, d) in graph.edges_of_type(t).iter() {
                 existing.insert((t.0, s, d));

@@ -90,7 +90,7 @@ impl<M: LinkPredictor> NodeClassifier<M> {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(c, _)| c as u32)
                     .unwrap_or(0)
             })

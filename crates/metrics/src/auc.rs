@@ -23,11 +23,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     }
     // Sort indices by score ascending; assign midranks to tie groups.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("NaN score in roc_auc")
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
     while i < order.len() {

@@ -76,7 +76,7 @@ pub fn majority_baseline(truth: &[u32], num_classes: usize) -> f64 {
     for &t in truth {
         counts[t as usize] += 1;
     }
-    *counts.iter().max().unwrap() as f64 / truth.len() as f64
+    counts.iter().max().copied().unwrap_or(0) as f64 / truth.len() as f64
 }
 
 #[cfg(test)]

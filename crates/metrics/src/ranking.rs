@@ -39,11 +39,7 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     // Descending by score; stable so equal scores keep input order.
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN score in average_precision")
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut hits = 0usize;
     let mut sum_prec = 0.0f64;
     for (rank0, &i) in order.iter().enumerate() {
@@ -119,7 +115,7 @@ impl GroupedMetric {
         self.groups
             .iter()
             .filter(|(_, _, n)| *n > 0)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN group value"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -122,6 +122,7 @@ fn partition_rows(out: &mut Matrix, n: usize, body: impl Fn(usize, &mut [f32]) +
             s.spawn(move |_| body(t * rows_per, chunk));
         }
     })
+    // fedda-lint: allow(panic-path, reason = "re-raises a worker panic on the caller thread; swallowing it would return a half-written output matrix")
     .expect("gemm worker panicked");
 }
 
@@ -201,6 +202,7 @@ fn nn_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usi
                     // Same sparsity skip as the naive kernel — required for
                     // bit-identity, and FedDA's masked weights really are
                     // zero-heavy.
+                    // fedda-lint: allow(float-eq, reason = "exact-zero sparsity skip; masked weights are written as literal 0.0, and the skip must match the naive kernel bit-for-bit")
                     if av == 0.0 {
                         continue;
                     }

@@ -225,6 +225,7 @@ impl Matrix {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
+                // fedda-lint: allow(float-eq, reason = "exact-zero sparsity skip: adding a*b with a == 0.0 is a bitwise no-op, so skipping preserves bit-identity")
                 if a == 0.0 {
                     continue;
                 }
@@ -266,6 +267,7 @@ impl Matrix {
             let a_row = &self.data[p * m..(p + 1) * m];
             let b_row = &other.data[p * n..(p + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
+                // fedda-lint: allow(float-eq, reason = "exact-zero sparsity skip: adding a*b with a == 0.0 is a bitwise no-op, so skipping preserves bit-identity")
                 if a == 0.0 {
                     continue;
                 }

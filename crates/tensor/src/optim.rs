@@ -108,6 +108,7 @@ impl Adam {
             let v = &mut self.v[idx];
             for i in 0..grad.len() {
                 let mut g = grad.as_slice()[i];
+                // fedda-lint: allow(float-eq, reason = "config-flag check against the literal default 0.0, not a computed value; skipping the add keeps g bit-identical to the no-decay path")
                 if self.weight_decay != 0.0 {
                     g += self.weight_decay * value.as_slice()[i];
                 }

@@ -10,7 +10,7 @@
 
 use crate::matrix::Matrix;
 use crate::tape::{Graph, Var};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a parameter inside a [`ParamSet`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -115,7 +115,7 @@ impl Param {
 #[derive(Clone, Debug, Default)]
 pub struct ParamSet {
     params: Vec<Param>,
-    by_name: HashMap<String, ParamId>,
+    by_name: BTreeMap<String, ParamId>,
 }
 
 impl ParamSet {

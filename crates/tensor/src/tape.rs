@@ -572,6 +572,7 @@ impl Graph {
         // The node's grad is complete by the time we visit it (children have
         // higher indices and were processed first); move it out to satisfy
         // the borrow checker while we mutate parents.
+        // fedda-lint: allow(panic-path, reason = "caller checks grad.is_none() before visiting; a missing grad here is tape-internal corruption")
         self.nodes[i].grad.take().expect("grad missing")
     }
 
