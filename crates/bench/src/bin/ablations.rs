@@ -11,18 +11,30 @@
 //! 7. client-side differential privacy (clip + Gaussian noise) on top of
 //!    FedDA (the conclusion's future-work direction).
 //!
-//! Usage: `cargo run -p fedda-bench --release --bin ablations [--quick]`
+//! Usage: `cargo run -p fedda-bench --release --bin ablations [--quick]
+//! [--json out.json]`
 
-use fedda::experiment::{Dataset, Experiment, Framework};
+use fedda::experiment::{Dataset, Experiment, Framework, FrameworkResult};
 use fedda::fl::{AggWeighting, FedDa, MaskRule, PrivacyConfig, Reactivation};
 use fedda::hgn::Decoder;
 use fedda::table::TextTable;
-use fedda_bench::{base_config, pm, Options};
+use fedda_bench::{base_config, maybe_write_json, pm, Options};
+use serde_json::json;
+
+fn row_json(ablation: &str, setting: &str, res: &FrameworkResult) -> serde_json::Value {
+    json!({
+        "ablation": ablation, "setting": setting,
+        "final_auc": res.final_auc.mean, "final_auc_std": res.final_auc.std,
+        "best_auc": res.best_auc.mean,
+        "uplink_units": res.uplink_units.mean,
+    })
+}
 
 fn main() {
     let opts = Options::from_env();
     let mut cfg = base_config(Dataset::DblpLike, &opts);
     cfg.num_clients = opts.get("clients").unwrap_or(8);
+    let mut json_blobs = Vec::new();
     let mut table = TextTable::new(&["Ablation", "Setting", "ROC-AUC", "Best AUC", "Uplink units"]);
 
     // 1. mask-update rule
@@ -44,6 +56,7 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("mask rule", setting, &res));
     }
 
     // 2. encoder: Simple-HGN vs GAT vs attention-residual Simple-HGN
@@ -63,6 +76,7 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("encoder", setting, &res));
     }
 
     // 3. decoder
@@ -81,6 +95,7 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("decoder", setting, &res));
     }
 
     // 4. explore cool-down
@@ -96,6 +111,7 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("explore cool-down", setting, &res));
     }
 
     // 5. no reactivation: Restart with beta_r ~ 0 never restarts, Explore
@@ -117,6 +133,7 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("reactivation", setting, &res));
     }
 
     // 6. aggregation weighting
@@ -135,6 +152,7 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("agg weighting", setting, &res));
     }
 
     // 7. differential privacy on returned updates
@@ -166,8 +184,11 @@ fn main() {
             pm(&res.best_auc),
             format!("{:.0}", res.uplink_units.mean),
         ]);
+        json_blobs.push(row_json("privacy", setting, &res));
     }
 
     println!("== Ablations (DBLP-like, M={}) ==\n", cfg.num_clients);
     println!("{}", table.render());
+
+    maybe_write_json(&opts, &json!(json_blobs));
 }

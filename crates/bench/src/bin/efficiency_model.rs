@@ -3,12 +3,14 @@
 //! observed rounds, feed them to the analytic formulas, and compare the
 //! predicted uplink against the measured one.
 //!
-//! Usage: `cargo run -p fedda-bench --release --bin efficiency_model [--quick]`
+//! Usage: `cargo run -p fedda-bench --release --bin efficiency_model [--quick]
+//! [--json out.json]`
 
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{analysis, FedDa, Reactivation};
 use fedda::table::TextTable;
-use fedda_bench::{base_config, Options};
+use fedda_bench::{base_config, maybe_write_json, Options};
+use serde_json::json;
 
 fn main() {
     let opts = Options::from_env();
@@ -24,6 +26,7 @@ fn main() {
     println!("== Analytic communication model (Eqs. 8-11) vs simulation ==");
     println!("M = {m}, N = {n} units, N_d = {n_d} disentangled units\n");
 
+    let mut json_blobs = Vec::new();
     let mut table = TextTable::new(&[
         "Strategy",
         "r_c (obs)",
@@ -95,12 +98,20 @@ fn main() {
             format!("{:.2}", predicted / measured.max(1.0)),
             format!("{:.2}", measured / fedavg_total),
         ]);
+        json_blobs.push(json!({
+            "strategy": label,
+            "r_c": r_c, "r_p": r_p,
+            "measured_uplink": measured, "predicted_uplink": predicted,
+            "fedavg_uplink": fedavg_total,
+        }));
     }
     println!("{}", table.render());
     println!(
         "Prediction within ~2x of measurement validates the Eqs. 8-11 model;\n\
          the FedAvg ratio column is the paper's headline savings."
     );
+
+    maybe_write_json(&opts, &json!(json_blobs));
 }
 
 fn mean(v: &[f64]) -> Option<f64> {

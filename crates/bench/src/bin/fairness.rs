@@ -4,12 +4,14 @@
 //! hurts; this binary reports the per-type breakdown, the macro/weighted
 //! means and the max−min fairness gap.
 //!
-//! Usage: `cargo run -p fedda-bench --release --bin fairness [--quick]`
+//! Usage: `cargo run -p fedda-bench --release --bin fairness [--quick]
+//! [--json out.json]`
 
 use fedda::experiment::{Dataset, Experiment};
 use fedda::fl::{FedAvg, FedDa};
 use fedda::table::TextTable;
-use fedda_bench::{base_config, Options};
+use fedda_bench::{base_config, maybe_write_json, Options};
+use serde_json::json;
 
 fn main() {
     let opts = Options::from_env();
@@ -24,6 +26,7 @@ fn main() {
         exp.config().rounds
     );
 
+    let mut json_blobs = Vec::new();
     let mut table: Option<TextTable> = None;
     for name in ["FedAvg", "FedDA 1 (Restart)", "FedDA 2 (Explore)"] {
         let mut system = exp.system_for_run(0);
@@ -64,10 +67,24 @@ fn main() {
         row.push(format!("{:.4}", detail.auc_by_edge_type.weighted_mean()));
         row.push(format!("{:.4}", detail.auc_by_edge_type.gap()));
         table.as_mut().unwrap().row(&row);
+        json_blobs.push(json!({
+            "framework": name,
+            "auc_by_edge_type": detail
+                .auc_by_edge_type
+                .groups
+                .iter()
+                .map(|(t, v, n)| json!({"edge_type": t.as_str(), "auc": *v, "n": *n}))
+                .collect::<Vec<_>>(),
+            "macro_mean": detail.auc_by_edge_type.macro_mean(),
+            "weighted_mean": detail.auc_by_edge_type.weighted_mean(),
+            "gap": detail.auc_by_edge_type.gap(),
+        }));
     }
     println!("{}", table.unwrap().render());
     println!(
         "gap = max − min per-type AUC; a smaller gap means the global model\n\
          serves rare link types as well as dominant ones."
     );
+
+    maybe_write_json(&opts, &json!(json_blobs));
 }

@@ -16,11 +16,9 @@
 
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{Corruption, FaultConfig, FedAvg, FedDa, StalenessPolicy};
-use fedda::report;
 use fedda::table::TextTable;
-use fedda_bench::{base_config, pm, Options};
+use fedda_bench::{base_config, maybe_write_json, pm, Options};
 use serde_json::json;
-use std::path::Path;
 
 /// The mixed fault schedule at headline dropout rate `r`.
 fn mix(rate: f64) -> Option<FaultConfig> {
@@ -97,8 +95,5 @@ fn main() {
         "(Dropout rate r also injects stragglers at r/2 with gamma=0.5 staleness\n discounting and NaN corruption at r/2; corrupted updates are rejected by\n the server's non-finite check. AUC should degrade gracefully, not collapse.)"
     );
 
-    if let Some(path) = opts.get_str("json") {
-        report::write_json(Path::new(path), &json!(json_blobs)).expect("write json");
-        println!("wrote {path}");
-    }
+    maybe_write_json(&opts, &json!(json_blobs));
 }

@@ -10,9 +10,8 @@
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::FedAvg;
 use fedda::report;
-use fedda_bench::{base_config, render_curve, Options};
+use fedda_bench::{base_config, maybe_write_json, render_curve, Options};
 use serde_json::json;
-use std::path::Path;
 
 fn main() {
     let opts = Options::from_env();
@@ -37,11 +36,19 @@ fn main() {
             let res = exp.run_framework(&fw);
             println!(
                 "{}",
-                render_curve(&format!("C={c:.2} best"), &res.auc_curves.max_curve())
+                render_curve(
+                    &format!("C={c:.2} best"),
+                    &res.eval_rounds,
+                    &res.auc_curves.max_curve()
+                )
             );
             println!(
                 "{}",
-                render_curve(&format!("C={c:.2} worst"), &res.auc_curves.min_curve())
+                render_curve(
+                    &format!("C={c:.2} worst"),
+                    &res.eval_rounds,
+                    &res.auc_curves.min_curve()
+                )
             );
             results_json.push((format!("fig2_C_{label}_{c}"), res));
         }
@@ -55,11 +62,19 @@ fn main() {
             let res = exp.run_framework(&fw);
             println!(
                 "{}",
-                render_curve(&format!("D={d:.2} best"), &res.auc_curves.max_curve())
+                render_curve(
+                    &format!("D={d:.2} best"),
+                    &res.eval_rounds,
+                    &res.auc_curves.max_curve()
+                )
             );
             println!(
                 "{}",
-                render_curve(&format!("D={d:.2} worst"), &res.auc_curves.min_curve())
+                render_curve(
+                    &format!("D={d:.2} worst"),
+                    &res.eval_rounds,
+                    &res.auc_curves.min_curve()
+                )
             );
             results_json.push((format!("fig2_D_{label}_{d}"), res));
         }
@@ -76,15 +91,14 @@ fn main() {
         );
     }
 
-    if let Some(path) = opts.get_str("json") {
-        let value = json!({
+    maybe_write_json(
+        &opts,
+        &json!({
             "experiment": "fig2",
             "results": results_json
                 .iter()
                 .map(|(k, r)| json!({"setting": k, "data": report::framework_to_json(r)}))
                 .collect::<Vec<_>>(),
-        });
-        report::write_json(Path::new(path), &value).expect("write json");
-        println!("wrote {path}");
-    }
+        }),
+    );
 }

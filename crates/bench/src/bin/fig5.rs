@@ -8,9 +8,8 @@
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{FedAvg, FedDa};
 use fedda::report;
-use fedda_bench::{base_config, render_curve, Options};
+use fedda_bench::{base_config, maybe_write_json, render_curve, Options};
 use serde_json::json;
-use std::path::Path;
 
 fn main() {
     let opts = Options::from_env();
@@ -40,6 +39,7 @@ fn main() {
                 "{}",
                 render_curve(
                     &format!("{} (mean)", res.name),
+                    &res.eval_rounds,
                     &res.auc_curves.mean_curve()
                 )
             );
@@ -54,11 +54,19 @@ fn main() {
         for res in &results[1..] {
             println!(
                 "{}",
-                render_curve(&format!("{} best", res.name), &res.auc_curves.max_curve())
+                render_curve(
+                    &format!("{} best", res.name),
+                    &res.eval_rounds,
+                    &res.auc_curves.max_curve()
+                )
             );
             println!(
                 "{}",
-                render_curve(&format!("{} worst", res.name), &res.auc_curves.min_curve())
+                render_curve(
+                    &format!("{} worst", res.name),
+                    &res.eval_rounds,
+                    &res.auc_curves.min_curve()
+                )
             );
         }
 
@@ -71,7 +79,14 @@ fn main() {
             .unwrap_or(0.5);
         println!("-- rounds to reach FedAvg's final mean AUC ({fedavg_final:.4}) --");
         for res in &results[1..] {
-            match res.auc_curves.rounds_to_reach(fedavg_final) {
+            // rounds_to_reach returns a curve *position*; translate it to
+            // the true round via eval_rounds (they differ when the eval
+            // cadence is sparse).
+            match res
+                .auc_curves
+                .rounds_to_reach(fedavg_final)
+                .map(|pos| res.eval_rounds.get(pos).copied().unwrap_or(pos))
+            {
                 Some(r) => println!("{:<20} round {}", res.name, r),
                 None => println!("{:<20} not reached", res.name),
             }
@@ -84,8 +99,5 @@ fn main() {
         ));
     }
 
-    if let Some(path) = opts.get_str("json") {
-        report::write_json(Path::new(path), &json!(json_blobs)).expect("write json");
-        println!("wrote {path}");
-    }
+    maybe_write_json(&opts, &json!(json_blobs));
 }

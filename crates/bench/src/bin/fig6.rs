@@ -8,9 +8,8 @@
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{FedDa, Reactivation};
 use fedda::report;
-use fedda_bench::{base_config, render_curve, Options};
+use fedda_bench::{base_config, maybe_write_json, render_curve, Options};
 use serde_json::json;
-use std::path::Path;
 
 fn main() {
     let opts = Options::from_env();
@@ -33,7 +32,11 @@ fn main() {
         let res = exp.run_framework(&Framework::FedDa(fedda));
         println!(
             "{}",
-            render_curve(&format!("beta_r={beta_r}"), &res.auc_curves.mean_curve())
+            render_curve(
+                &format!("beta_r={beta_r}"),
+                &res.eval_rounds,
+                &res.auc_curves.mean_curve()
+            )
         );
         println!(
             "  final={} best={} uplink={:.0}\n",
@@ -52,7 +55,11 @@ fn main() {
         let res = exp.run_framework(&Framework::FedDa(fedda));
         println!(
             "{}",
-            render_curve(&format!("alpha={alpha}"), &res.auc_curves.mean_curve())
+            render_curve(
+                &format!("alpha={alpha}"),
+                &res.eval_rounds,
+                &res.auc_curves.mean_curve()
+            )
         );
         println!(
             "  final={} best={} uplink={:.0}\n",
@@ -71,7 +78,11 @@ fn main() {
         let res = exp.run_framework(&Framework::FedDa(fedda));
         println!(
             "{}",
-            render_curve(&format!("beta_e={beta_e}"), &res.auc_curves.mean_curve())
+            render_curve(
+                &format!("beta_e={beta_e}"),
+                &res.eval_rounds,
+                &res.auc_curves.mean_curve()
+            )
         );
         println!(
             "  final={} best={} uplink={:.0}\n",
@@ -83,8 +94,5 @@ fn main() {
             "data": report::framework_to_json(&res)}));
     }
 
-    if let Some(path) = opts.get_str("json") {
-        report::write_json(Path::new(path), &json!(json_blobs)).expect("write json");
-        println!("wrote {path}");
-    }
+    maybe_write_json(&opts, &json!(json_blobs));
 }

@@ -4,16 +4,18 @@
 //! near zero (extreme specialisation) traces the regime where dynamic
 //! activation pays off.
 //!
-//! Usage: `cargo run -p fedda-bench --release --bin noniid_sweep [--quick]`
+//! Usage: `cargo run -p fedda-bench --release --bin noniid_sweep [--quick]
+//! [--json out.json]`
 
 use fedda::data::{non_iidness, partition_non_iid, PartitionConfig};
 use fedda::experiment::Dataset;
 use fedda::fl::{FedAvg, FedDa, FlConfig, FlSystem};
 use fedda::hetgraph::split::split_edges;
 use fedda::table::TextTable;
-use fedda_bench::{base_config, experiment_model, experiment_train, Options};
+use fedda_bench::{base_config, experiment_model, experiment_train, maybe_write_json, Options};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde_json::json;
 
 fn main() {
     let opts = Options::from_env();
@@ -32,6 +34,7 @@ fn main() {
         "== Non-IIDness sweep: DBLP-like, M={m}, {} rounds, r_a = 0.30 ==\n",
         cfg.rounds
     );
+    let mut json_blobs = Vec::new();
     let mut table = TextTable::new(&[
         "r_b",
         "non-IIDness",
@@ -62,18 +65,22 @@ fn main() {
         let fedavg = FedAvg::vanilla().run(&mut sys_avg);
         let mut sys_da = FlSystem::new(&split.train, &split.test, clients, fl_cfg);
         let fedda = FedDa::explore().run(&mut sys_da);
+        let uplink_ratio =
+            fedda.comm.total_uplink_units() as f64 / fedavg.comm.total_uplink_units().max(1) as f64;
         table.row(&[
             format!("{r_b:.2}"),
             format!("{bias:.3}"),
             format!("{:.4}", fedavg.best_auc()),
             format!("{:.4}", fedda.best_auc()),
             format!("{:+.4}", fedda.best_auc() - fedavg.best_auc()),
-            format!(
-                "{:.2}",
-                fedda.comm.total_uplink_units() as f64
-                    / fedavg.comm.total_uplink_units().max(1) as f64
-            ),
+            format!("{uplink_ratio:.2}"),
         ]);
+        json_blobs.push(json!({
+            "r_b": r_b, "non_iidness": bias,
+            "fedavg_best_auc": fedavg.best_auc(),
+            "fedda_best_auc": fedda.best_auc(),
+            "uplink_ratio": uplink_ratio,
+        }));
     }
     println!("{}", table.render());
     println!(
@@ -81,4 +88,6 @@ fn main() {
          column) and dynamic activation's savings and relative accuracy matter\n\
          more — the regime the paper targets."
     );
+
+    maybe_write_json(&opts, &json!(json_blobs));
 }

@@ -4,10 +4,28 @@
 //! DBLP-like heterographs at the requested scale, alongside the paper's
 //! original numbers for reference.
 //!
-//! Usage: `cargo run -p fedda-bench --release --bin table1 [--scale 0.01]`
+//! Usage: `cargo run -p fedda-bench --release --bin table1 [--scale 0.01]
+//! [--json out.json]`
 
 use fedda::data::{amazon_like, dblp_like, DatasetStats, PresetOptions};
-use fedda_bench::Options;
+use fedda_bench::{maybe_write_json, Options};
+use serde_json::json;
+
+fn stats_to_json(stats: &DatasetStats, edge_type_names: &[String]) -> serde_json::Value {
+    json!({
+        "name": stats.name,
+        "num_nodes": stats.num_nodes,
+        "num_node_types": stats.num_node_types,
+        "num_edges": stats.num_edges,
+        "num_edge_types": stats.num_edge_types,
+        "density_pct": stats.density_pct,
+        "edges_per_type": edge_type_names
+            .iter()
+            .zip(&stats.edges_per_type)
+            .map(|(n, c)| json!({"edge_type": n.as_str(), "count": *c}))
+            .collect::<Vec<_>>(),
+    })
+}
 
 fn main() {
     let opts = Options::from_env();
@@ -42,6 +60,7 @@ fn main() {
         "DBLP", 114_145, 3, 7_566_543, 5, 0.58
     );
 
+    let mut json_blobs = Vec::new();
     println!("\nPer-edge-type counts (synthetic):");
     for (name, g) in [("Amazon", &amazon), ("DBLP", &dblp)] {
         let counts = g.edge_counts();
@@ -56,5 +75,12 @@ fn main() {
             .map(|(n, c)| format!("{n}={c}"))
             .collect();
         println!("  {name}: {}", detail.join(", "));
+        json_blobs.push(json!({
+            "experiment": format!("table1_{name}"),
+            "meta": json!({"dataset": name, "scale": scale, "seed": seed}),
+            "stats": stats_to_json(&DatasetStats::compute(name, g), &names),
+        }));
     }
+
+    maybe_write_json(&opts, &json!(json_blobs));
 }

@@ -9,9 +9,8 @@ use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{FedAvg, FedDa};
 use fedda::report;
 use fedda::table::TextTable;
-use fedda_bench::{base_config, pm, Options};
+use fedda_bench::{base_config, maybe_write_json, pm, Options};
 use serde_json::json;
-use std::path::Path;
 
 fn main() {
     let opts = Options::from_env();
@@ -77,8 +76,5 @@ fn main() {
         }
     }
 
-    if let Some(path) = opts.get_str("json") {
-        report::write_json(Path::new(path), &json!(json_blobs)).expect("write json");
-        println!("wrote {path}");
-    }
+    maybe_write_json(&opts, &json!(json_blobs));
 }

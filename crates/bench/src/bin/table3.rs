@@ -6,11 +6,9 @@
 
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{FedAvg, FedDa};
-use fedda::report;
 use fedda::table::TextTable;
-use fedda_bench::{base_config, Options};
+use fedda_bench::{base_config, maybe_write_json, Options};
 use serde_json::json;
-use std::path::Path;
 
 fn main() {
     let opts = Options::from_env();
@@ -66,8 +64,5 @@ fn main() {
     println!("{}", table.render());
     println!("(Paper: FedDA reduces FedAvg's transmission by roughly 25-50%\n on both datasets; ratios above reproduce the direction and rough size.)");
 
-    if let Some(path) = opts.get_str("json") {
-        report::write_json(Path::new(path), &json!(json_blobs)).expect("write json");
-        println!("wrote {path}");
-    }
+    maybe_write_json(&opts, &json!(json_blobs));
 }

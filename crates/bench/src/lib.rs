@@ -1,5 +1,7 @@
 //! Shared plumbing for the experiment binaries: a tiny flag parser (no CLI
-//! dependency) and the default configurations each table/figure uses.
+//! dependency), the default configurations each table/figure uses, and the
+//! perf-trajectory harness behind the `perf` binary ([`snapshot`],
+//! [`compare`], [`suite`]).
 //!
 //! Every binary accepts:
 //!
@@ -11,16 +13,57 @@
 //! * `--eval-every <n>`— evaluate every n rounds (default 1; the final
 //!   round always evaluates)
 //! * `--json <path>`   — also dump machine-readable results
+//!   (every binary honors this via [`maybe_write_json`])
 //! * `--faults <spec>` — deterministic fault injection, e.g.
 //!   `drop=0.2,straggle=0.1,delay=3,corrupt=0.05,stale=discount:0.5`
 //!   (see `fedda::fl::FaultConfig`'s `FromStr`)
-//! * `--quick`         — smallest settings (CI smoke)
+//! * `--quick`         — shrink the *defaults* to CI-smoke size (never
+//!   overrides an explicit `--scale`/`--rounds`/`--runs`)
 //! * `--paper`         — paper-like settings (5 runs, 40 rounds)
 //! * `--events`        — stream per-round driver events to stderr
 
 use fedda::experiment::{Dataset, ExperimentConfig};
 use fedda::hgn::{HgnConfig, TrainConfig};
 use std::collections::HashMap;
+use std::path::Path;
+
+pub mod compare;
+pub mod snapshot;
+pub mod suite;
+
+/// The flags the shared parser knows about, named in the usage line when
+/// parsing fails. Individual binaries may consume extra `--flag value`
+/// pairs (e.g. `faults`' `--rate-steps`, `perf`'s `--out`); unknown flags
+/// are therefore accepted, but malformed or duplicated ones are not.
+pub const KNOWN_FLAGS: &[&str] = &[
+    "scale",
+    "rounds",
+    "runs",
+    "clients",
+    "seed",
+    "eval-every",
+    "json",
+    "faults",
+    "dataset",
+    "quick",
+    "paper",
+    "events",
+];
+
+/// One-line usage hint naming the shared flags.
+pub fn usage() -> String {
+    let mut parts = Vec::new();
+    for f in KNOWN_FLAGS {
+        match *f {
+            "quick" | "paper" | "events" => parts.push(format!("[--{f}]")),
+            _ => parts.push(format!("[--{f} <value>]")),
+        }
+    }
+    format!(
+        "usage: {} (plus binary-specific flags; see the binary's doc comment)",
+        parts.join(" ")
+    )
+}
 
 /// Parsed command-line options.
 #[derive(Clone, Debug, Default)]
@@ -36,41 +79,85 @@ pub struct Options {
 }
 
 impl Options {
-    /// Parse `std::env::args()`.
+    /// Parse `std::env::args()`. On a malformed command line this prints
+    /// the error plus a one-line usage hint to stderr and exits with
+    /// status 2 (it never panics at the user).
     pub fn from_env() -> Self {
-        Self::from_args(std::env::args().skip(1))
+        match Self::try_from_args(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n{}", usage());
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parse an explicit argument list (testable).
+    /// Parse an explicit argument list, panicking on malformed input
+    /// (testable; binaries go through [`Options::from_env`] which exits
+    /// cleanly instead).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_from_args(args) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}\n{}", usage()),
+        }
+    }
+
+    /// Parse an explicit argument list. Rejects positional arguments,
+    /// flags missing their value, and duplicate occurrences of the same
+    /// flag (previously duplicates silently last-won).
+    pub fn try_from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = Self::default();
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
-                "--quick" => out.quick = true,
-                "--paper" => out.paper = true,
-                "--events" => out.events = true,
-                flag if flag.starts_with("--") => {
-                    let value = iter
-                        .next()
-                        .unwrap_or_else(|| panic!("missing value for {flag}"));
-                    out.flags.insert(flag[2..].to_string(), value);
+                "--quick" => {
+                    if out.quick {
+                        return Err("duplicate flag --quick".into());
+                    }
+                    out.quick = true;
                 }
-                other => panic!("unexpected argument: {other}"),
+                "--paper" => {
+                    if out.paper {
+                        return Err("duplicate flag --paper".into());
+                    }
+                    out.paper = true;
+                }
+                "--events" => {
+                    if out.events {
+                        return Err("duplicate flag --events".into());
+                    }
+                    out.events = true;
+                }
+                flag if flag.starts_with("--") => {
+                    let value = match iter.next() {
+                        Some(v) => v,
+                        None => return Err(format!("missing value for {flag}")),
+                    };
+                    if out.flags.insert(flag[2..].to_string(), value).is_some() {
+                        return Err(format!("duplicate flag {flag}"));
+                    }
+                }
+                other => return Err(format!("unexpected argument: {other}")),
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Look up a typed flag.
+    /// Look up a typed flag; a malformed value panics with the usage hint.
     pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T>
     where
         T::Err: std::fmt::Debug,
     {
         self.flags.get(name).map(|v| {
             v.parse::<T>()
-                .unwrap_or_else(|e| panic!("bad value for --{name}: {v} ({e:?})"))
+                .unwrap_or_else(|e| panic!("bad value for --{name}: {v} ({e:?})\n{}", usage()))
         })
+    }
+
+    /// Whether the flag was given at all (used to tell an explicit value
+    /// from a default, e.g. by `--quick`'s defaults-only shrinking).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// String flag.
@@ -105,6 +192,10 @@ pub fn experiment_train() -> TrainConfig {
 }
 
 /// Build a baseline [`ExperimentConfig`] for a dataset from parsed options.
+///
+/// `--quick` shrinks only the *defaults*: an explicit `--scale`,
+/// `--rounds` or `--runs` always wins, so `--quick --scale 0.05` runs at
+/// scale 0.05 with quick rounds/runs.
 pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
     let default_scale = match dataset {
         Dataset::AmazonLike => 0.008,
@@ -126,9 +217,15 @@ pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
         ..Default::default()
     };
     if opts.quick {
-        cfg.scale = default_scale / 2.0;
-        cfg.rounds = cfg.rounds.min(4);
-        cfg.runs = cfg.runs.min(2);
+        if !opts.has("scale") {
+            cfg.scale = default_scale / 2.0;
+        }
+        if !opts.has("rounds") {
+            cfg.rounds = cfg.rounds.min(4);
+        }
+        if !opts.has("runs") {
+            cfg.runs = cfg.runs.min(2);
+        }
     }
     cfg
 }
@@ -138,14 +235,32 @@ pub fn pm(m: &fedda::metrics::MeanStd) -> String {
     m.fmt_pm()
 }
 
+/// Honor the documented `--json <path>` contract: when the flag is given,
+/// write `value` pretty-printed to the path and confirm on stdout. Every
+/// bench binary routes its machine-readable dump through this helper so
+/// new binaries cannot silently drift from the contract.
+pub fn maybe_write_json(opts: &Options, value: &serde_json::Value) {
+    if let Some(path) = opts.get_str("json") {
+        fedda::report::write_json(Path::new(path), value)
+            .unwrap_or_else(|e| panic!("cannot write --json {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 /// Render a curve as a compact sparkline-style series for the figure
-/// binaries (round: value pairs, 8 per line).
-pub fn render_curve(name: &str, curve: &[f64]) -> String {
+/// binaries (round: value pairs, 8 per line). `rounds` carries the true
+/// evaluated round index of each point (`FrameworkResult::eval_rounds`),
+/// so sparse `--eval-every > 1` curves label points by the round they
+/// measure rather than fabricating consecutive `r00,r01,…` labels; when a
+/// point has no recorded round (legacy callers), its position is used.
+pub fn render_curve(name: &str, rounds: &[usize], curve: &[f64]) -> String {
     let mut out = format!("{name}:\n");
     for (i, chunk) in curve.chunks(8).enumerate() {
         out.push_str("  ");
         for (j, v) in chunk.iter().enumerate() {
-            out.push_str(&format!("r{:02}={:.4} ", i * 8 + j, v));
+            let pos = i * 8 + j;
+            let round = rounds.get(pos).copied().unwrap_or(pos);
+            out.push_str(&format!("r{round:02}={v:.4} "));
         }
         out.push('\n');
     }
@@ -156,28 +271,29 @@ pub fn render_curve(name: &str, curve: &[f64]) -> String {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
     #[test]
     fn parses_flags_and_switches() {
-        let o = Options::from_args(
-            ["--scale", "0.01", "--runs", "5", "--quick"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let o = Options::from_args(args(&["--scale", "0.01", "--runs", "5", "--quick"]));
         assert_eq!(o.get::<f64>("scale"), Some(0.01));
         assert_eq!(o.get::<usize>("runs"), Some(5));
         assert!(o.quick);
         assert!(!o.paper);
         assert!(!o.events);
         assert_eq!(o.get::<u64>("seed"), None);
+        assert!(o.has("scale"));
+        assert!(!o.has("seed"));
     }
 
     #[test]
     fn eval_every_and_events_flags_flow_into_config() {
-        let o = Options::from_args(
-            ["--eval-every", "5", "--events"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let o = Options::from_args(args(&["--eval-every", "5", "--events"]));
         assert!(o.events);
         let cfg = base_config(Dataset::DblpLike, &o);
         assert_eq!(cfg.eval_every, 5);
@@ -188,11 +304,7 @@ mod tests {
 
     #[test]
     fn base_config_respects_overrides() {
-        let o = Options::from_args(
-            ["--clients", "16", "--rounds", "10"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let o = Options::from_args(args(&["--clients", "16", "--rounds", "10"]));
         let cfg = base_config(Dataset::DblpLike, &o);
         assert_eq!(cfg.num_clients, 16);
         assert_eq!(cfg.rounds, 10);
@@ -200,16 +312,36 @@ mod tests {
     }
 
     #[test]
-    fn quick_mode_shrinks_everything() {
-        let o = Options::from_args(["--quick"].iter().map(|s| s.to_string()));
+    fn quick_mode_shrinks_defaults() {
+        let o = Options::from_args(args(&["--quick"]));
         let cfg = base_config(Dataset::AmazonLike, &o);
+        assert!(cfg.rounds <= 4);
+        assert!(cfg.runs <= 2);
+        assert!(cfg.scale < 0.008);
+    }
+
+    #[test]
+    fn quick_mode_never_clobbers_explicit_overrides() {
+        // The regression the sweep fixes: `--quick --scale 0.05` used to
+        // run at half the *default* scale, silently ignoring the user.
+        let o = Options::from_args(args(&[
+            "--quick", "--scale", "0.05", "--rounds", "9", "--runs", "4",
+        ]));
+        let cfg = base_config(Dataset::AmazonLike, &o);
+        assert_eq!(cfg.scale, 0.05);
+        assert_eq!(cfg.rounds, 9);
+        assert_eq!(cfg.runs, 4);
+        // Partial overrides: the rest still shrinks.
+        let o = Options::from_args(args(&["--quick", "--scale", "0.05"]));
+        let cfg = base_config(Dataset::AmazonLike, &o);
+        assert_eq!(cfg.scale, 0.05);
         assert!(cfg.rounds <= 4);
         assert!(cfg.runs <= 2);
     }
 
     #[test]
     fn paper_mode_uses_paper_model() {
-        let o = Options::from_args(["--paper"].iter().map(|s| s.to_string()));
+        let o = Options::from_args(args(&["--paper"]));
         let cfg = base_config(Dataset::DblpLike, &o);
         assert_eq!(cfg.model.num_layers, 3);
         assert_eq!(cfg.runs, 5);
@@ -218,11 +350,7 @@ mod tests {
 
     #[test]
     fn faults_flag_flows_into_config() {
-        let o = Options::from_args(
-            ["--faults", "drop=0.3,straggle=0.1,delay=2"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let o = Options::from_args(args(&["--faults", "drop=0.3,straggle=0.1,delay=2"]));
         let cfg = base_config(Dataset::DblpLike, &o);
         let fc = cfg.faults.expect("--faults must populate the config");
         assert_eq!(fc.dropout, 0.3);
@@ -236,15 +364,46 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad value for --faults")]
     fn bad_faults_spec_panics_with_context() {
-        let o = Options::from_args(["--faults", "drop=1.5"].iter().map(|s| s.to_string()));
+        let o = Options::from_args(args(&["--faults", "drop=1.5"]));
         let _ = base_config(Dataset::DblpLike, &o);
     }
 
     #[test]
-    fn render_curve_contains_rounds() {
-        let s = render_curve("FedAvg", &[0.5, 0.6, 0.7]);
+    fn parse_errors_name_known_flags() {
+        let err = Options::try_from_args(args(&["--scale"])).unwrap_err();
+        assert!(err.contains("missing value for --scale"), "{err}");
+        let err = Options::try_from_args(args(&["oops"])).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        // The panicking wrapper appends the usage hint naming the flags.
+        let caught = std::panic::catch_unwind(|| Options::from_args(args(&["--scale"])));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("usage:"), "{msg}");
+        assert!(msg.contains("--eval-every"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let err = Options::try_from_args(args(&["--scale", "0.1", "--scale", "0.2"])).unwrap_err();
+        assert!(err.contains("duplicate flag --scale"), "{err}");
+        let err = Options::try_from_args(args(&["--quick", "--quick"])).unwrap_err();
+        assert!(err.contains("duplicate flag --quick"), "{err}");
+    }
+
+    #[test]
+    fn render_curve_labels_by_actual_round() {
+        // Dense cadence: labels match positions.
+        let s = render_curve("FedAvg", &[0, 1, 2], &[0.5, 0.6, 0.7]);
         assert!(s.contains("r00=0.5000"));
         assert!(s.contains("r02=0.7000"));
+        // Sparse cadence (--eval-every 5 on 11 rounds): true rounds.
+        let s = render_curve("FedAvg", &[4, 9, 10], &[0.5, 0.6, 0.7]);
+        assert!(s.contains("r04=0.5000"));
+        assert!(s.contains("r09=0.6000"));
+        assert!(s.contains("r10=0.7000"));
+        assert!(!s.contains("r00="), "sparse curves must not relabel from 0");
+        // Legacy fallback: missing round info degrades to positions.
+        let s = render_curve("FedAvg", &[], &[0.5, 0.6]);
+        assert!(s.contains("r00=0.5000") && s.contains("r01=0.6000"));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! The fixed, seeded perf suite behind the `perf` binary.
+//!
+//! Three tiers mirror the criterion benches (`benches/`) so snapshot
+//! numbers track the same entry points the micro-benchmarks exercise:
+//!
+//! 1. **GEMM** — square matmuls over the paper-relevant shapes in all
+//!    three layouts (`nn`/`tn`/`nt`), blocked dispatch vs the naive
+//!    reference loops (`fedda_tensor::gemm` vs `Matrix::matmul_*_naive`);
+//! 2. **HGN** — Simple-HGN forward and forward+backward at the experiment
+//!    model size on a DBLP-like graph;
+//! 3. **FL round** — one full federated round (local updates +
+//!    aggregation + evaluation) for FedAvg and both FedDA strategies at
+//!    several dataset scales.
+//!
+//! The `--smoke` profile shrinks shapes, scales and sample counts to a
+//! CI-sized run; case names are stable within a profile so `--compare`
+//! can diff any two snapshots of the same profile.
+
+use crate::snapshot::{time_case, CaseResult};
+use crate::{experiment_model, experiment_train};
+use fedda::experiment::{Dataset, Experiment, ExperimentConfig, Framework};
+use fedda::fl::{FedAvg, FedDa};
+use fedda_hetgraph::LinkSampler;
+use fedda_hgn::{GraphView, SimpleHgn};
+use fedda_tensor::{gemm, Graph, Matrix, TapeBindings};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Suite profile and knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteConfig {
+    /// CI-sized profile: fewer shapes, smaller graphs, fewer samples.
+    pub smoke: bool,
+    /// Base seed for every generated input (matrices, graphs, runs).
+    pub seed: u64,
+    /// Override the per-case sample count (default 3 smoke / 5 full).
+    pub samples: Option<u64>,
+    /// Print per-case progress to stderr.
+    pub progress: bool,
+}
+
+impl SuiteConfig {
+    /// Profile label recorded in the snapshot.
+    pub fn label(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples.unwrap_or(if self.smoke { 3 } else { 5 })
+    }
+
+    fn gemm_shapes(&self) -> &'static [usize] {
+        if self.smoke {
+            &[64, 256]
+        } else {
+            &[64, 256, 512]
+        }
+    }
+
+    fn hgn_scale(&self) -> f64 {
+        if self.smoke {
+            0.001
+        } else {
+            0.002
+        }
+    }
+
+    fn fl_scales(&self) -> &'static [f64] {
+        if self.smoke {
+            &[0.0008, 0.0015]
+        } else {
+            &[0.0015, 0.003, 0.006]
+        }
+    }
+}
+
+fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+    Matrix::from_vec(
+        r,
+        c,
+        (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
+}
+
+/// Run the whole suite and return per-case results in suite order.
+pub fn run_suite(cfg: &SuiteConfig) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    let push = |cases: &mut Vec<CaseResult>, case: CaseResult| {
+        if cfg.progress {
+            eprintln!(
+                "  {} median {:.3} ms ({} samples x {} iters)",
+                case.name,
+                case.median_ns as f64 / 1e6,
+                case.samples,
+                case.iters
+            );
+        }
+        cases.push(case);
+    };
+
+    // 1. GEMM shapes, blocked vs naive, all layouts.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for &n in cfg.gemm_shapes() {
+        let a = rand_matrix(&mut rng, n, n);
+        let b = rand_matrix(&mut rng, n, n);
+        // Larger shapes amortise a sample over fewer iterations.
+        let iters = match n {
+            0..=64 => 10,
+            65..=256 => 2,
+            _ => 1,
+        };
+        type Kernel = fn(&Matrix, &Matrix) -> Matrix;
+        let kernels: [(&str, &str, Kernel); 6] = [
+            ("nn", "blocked", gemm::gemm_nn as Kernel),
+            ("nn", "naive", Matrix::matmul_naive as Kernel),
+            ("tn", "blocked", gemm::gemm_tn as Kernel),
+            ("tn", "naive", Matrix::matmul_tn_naive as Kernel),
+            ("nt", "blocked", gemm::gemm_nt as Kernel),
+            ("nt", "naive", Matrix::matmul_nt_naive as Kernel),
+        ];
+        for (layout, variant, kernel) in kernels {
+            let case = time_case(
+                &format!("gemm/{layout}/{n}/{variant}"),
+                cfg.samples(),
+                iters,
+                || {
+                    black_box(kernel(&a, &b));
+                },
+            );
+            push(&mut out, case);
+        }
+    }
+
+    // 2. Simple-HGN forward / forward+backward at the experiment model
+    //    size (mirrors benches/hgn_forward_backward.rs).
+    let graph = fedda::data::dblp_like(&fedda::data::PresetOptions {
+        scale: cfg.hgn_scale(),
+        seed: cfg.seed,
+        ..Default::default()
+    })
+    .graph;
+    let model_cfg = experiment_model(false);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (model, params) = SimpleHgn::init_params(graph.schema(), &model_cfg, &mut rng);
+    let view = GraphView::new(&graph, model_cfg.add_self_loops);
+    let case = time_case("hgn/forward", cfg.samples(), 2, || {
+        let mut g = Graph::new();
+        let mut tb = TapeBindings::new();
+        black_box(model.encode::<StdRng>(&mut g, &mut tb, &params, &view, None));
+    });
+    push(&mut out, case);
+
+    let sampler = LinkSampler::new(&graph);
+    let mut rng2 = StdRng::seed_from_u64(cfg.seed ^ 1);
+    let pos = sampler.all_positives();
+    let examples = sampler.with_negatives(&pos[..256.min(pos.len())], 1, &mut rng2);
+    let targets: Arc<Vec<f32>> = Arc::new(
+        examples
+            .iter()
+            .map(|e| if e.label { 1.0 } else { 0.0 })
+            .collect(),
+    );
+    let case = time_case("hgn/forward_backward", cfg.samples(), 2, || {
+        let mut g = Graph::new();
+        let mut tb = TapeBindings::new();
+        let emb = model.encode::<StdRng>(&mut g, &mut tb, &params, &view, None);
+        let logits = model.score_links(&mut g, &mut tb, &params, emb, &examples);
+        let loss = g.bce_with_logits(logits, targets.clone());
+        g.backward(loss);
+    });
+    push(&mut out, case);
+
+    // 3. One full FL round per protocol at several dataset scales
+    //    (mirrors benches/fl_round.rs; dataset generation and the split
+    //    are setup, not timed).
+    for &scale in cfg.fl_scales() {
+        let exp = Experiment::new(ExperimentConfig {
+            dataset: Dataset::DblpLike,
+            scale,
+            num_clients: 4,
+            rounds: 1,
+            runs: 1,
+            model: experiment_model(false),
+            train: experiment_train(),
+            seed: cfg.seed,
+            ..Default::default()
+        });
+        let protocols: &[(&str, Framework)] = &[
+            ("fedavg", Framework::FedAvg(FedAvg::vanilla())),
+            ("fedda_restart", Framework::FedDa(FedDa::restart())),
+            ("fedda_explore", Framework::FedDa(FedDa::explore())),
+        ];
+        for (label, framework) in protocols {
+            let case = time_case(
+                &format!("fl_round/{label}/s{scale}"),
+                cfg.samples(),
+                1,
+                || {
+                    black_box(exp.run_framework(framework));
+                },
+            );
+            push(&mut out, case);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_and_are_labelled() {
+        let smoke = SuiteConfig {
+            smoke: true,
+            seed: 0,
+            samples: None,
+            progress: false,
+        };
+        let full = SuiteConfig {
+            smoke: false,
+            ..smoke
+        };
+        assert_eq!(smoke.label(), "smoke");
+        assert_eq!(full.label(), "full");
+        assert!(smoke.gemm_shapes().len() < full.gemm_shapes().len());
+        assert!(smoke.fl_scales().len() < full.fl_scales().len());
+        assert!(smoke.samples() < full.samples());
+        assert_eq!(
+            SuiteConfig {
+                samples: Some(1),
+                ..smoke
+            }
+            .samples(),
+            1
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end contract for the `perf` binary: `--smoke` emits a valid
+//! schema-versioned snapshot, `--compare` passes on identical snapshots and
+//! exits nonzero when a case regresses beyond the threshold or disappears.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn perf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perf"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fedda_perf_{name}_{}.json", std::process::id()))
+}
+
+/// One real smoke run, then all the compare verdicts against doctored
+/// copies of its output. A single test keeps the (expensive) suite run to
+/// one execution.
+#[test]
+fn smoke_snapshot_and_compare_verdicts() {
+    let base = tmp("base");
+    let out = perf()
+        .args(["--smoke", "--samples", "1", "--out"])
+        .arg(&base)
+        .output()
+        .expect("spawn perf");
+    assert!(
+        out.status.success(),
+        "perf --smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The emitted file is a valid, schema-versioned snapshot covering all
+    // three suite families.
+    let text = std::fs::read_to_string(&base).expect("snapshot written");
+    let snap: serde_json::Value = serde_json::from_str(&text).expect("snapshot parses");
+    assert_eq!(snap["schema_version"].as_u64(), Some(1));
+    assert_eq!(snap["label"].as_str(), Some("smoke"));
+    assert!(snap["env"]["cpus"].as_u64().unwrap_or(0) >= 1);
+    let cases = snap["cases"].as_array().expect("cases array");
+    for family in ["gemm/", "hgn/", "fl_round/"] {
+        assert!(
+            cases
+                .iter()
+                .any(|c| c["name"].as_str().unwrap_or("").starts_with(family)),
+            "suite is missing the {family} family"
+        );
+    }
+
+    // Identical snapshots compare clean and exit 0.
+    let ok = perf()
+        .arg("--compare")
+        .arg(&base)
+        .arg(&base)
+        .output()
+        .expect("spawn perf --compare");
+    assert!(ok.status.success(), "self-compare must pass");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("OK"), "expected OK summary, got:\n{stdout}");
+
+    // Doctor one case to be 2x slower in `new` -> regression, nonzero exit.
+    let mut slow = snap.clone();
+    let median = slow["cases"][0]["median_ns"].as_u64().unwrap().max(1);
+    slow["cases"][0]["median_ns"] = serde_json::json!(median * 2);
+    let slow_path = tmp("slow");
+    std::fs::write(&slow_path, slow.to_string()).unwrap();
+    let reg = perf()
+        .arg("--compare")
+        .arg(&base)
+        .arg(&slow_path)
+        .output()
+        .expect("spawn perf --compare");
+    assert!(!reg.status.success(), "2x regression must fail the gate");
+    assert!(String::from_utf8_lossy(&reg.stdout).contains("REGRESSION"));
+
+    // ...but a generous threshold lets the same pair pass.
+    let loose = perf()
+        .arg("--compare")
+        .arg(&base)
+        .arg(&slow_path)
+        .args(["--threshold", "1.5"])
+        .output()
+        .expect("spawn perf --compare");
+    assert!(
+        loose.status.success(),
+        "150% threshold must tolerate a 2x case: {}",
+        String::from_utf8_lossy(&loose.stdout)
+    );
+
+    // Dropping a case from `new` -> coverage shrank, nonzero exit.
+    let mut shrunk = snap.clone();
+    shrunk["cases"].as_array_mut().unwrap().pop();
+    let shrunk_path = tmp("shrunk");
+    std::fs::write(&shrunk_path, shrunk.to_string()).unwrap();
+    let missing = perf()
+        .arg("--compare")
+        .arg(&base)
+        .arg(&shrunk_path)
+        .output()
+        .expect("spawn perf --compare");
+    assert!(!missing.status.success(), "missing case must fail the gate");
+    assert!(String::from_utf8_lossy(&missing.stdout).contains("MISSING"));
+
+    for p in [&base, &slow_path, &shrunk_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn compare_rejects_unreadable_and_mismatched_inputs() {
+    let out = perf()
+        .args(["--compare", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .expect("spawn perf --compare");
+    assert!(!out.status.success());
+}

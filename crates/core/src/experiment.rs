@@ -163,6 +163,11 @@ pub struct FrameworkResult {
     pub auc_curves: CurveRecorder,
     /// Per-evaluation-point MRR curves across runs (empty for `Local`).
     pub mrr_curves: CurveRecorder,
+    /// The true (0-based) round index behind each curve position — the
+    /// evaluation cadence is shared by every run, so one vector labels
+    /// all curves. Non-consecutive when `eval_every > 1`; empty for
+    /// `Local`.
+    pub eval_rounds: Vec<usize>,
 }
 
 /// One experiment cell: a generated + split dataset reused across
@@ -262,6 +267,7 @@ impl Experiment {
         let mut uplinks = Vec::with_capacity(self.cfg.runs);
         let mut auc_curves = CurveRecorder::new();
         let mut mrr_curves = CurveRecorder::new();
+        let mut eval_rounds = Vec::new();
         for run in 0..self.cfg.runs {
             let mut system = self.system_for_run(run);
             match framework.protocol() {
@@ -287,6 +293,12 @@ impl Experiment {
                         auc_curves.record(run, t, eval.roc_auc);
                         mrr_curves.record(run, t, eval.mrr);
                     }
+                    // The cadence is config-driven and identical across
+                    // runs; remember the true round behind each position
+                    // so figures can label sparse curves correctly.
+                    if eval_rounds.is_empty() {
+                        eval_rounds = result.curve.iter().map(|e| e.round).collect();
+                    }
                     final_aucs.push(result.final_eval.roc_auc);
                     final_mrrs.push(result.final_eval.mrr);
                     best_aucs.push(result.best_auc());
@@ -302,6 +314,7 @@ impl Experiment {
             uplink_units: MeanStd::of(&uplinks),
             auc_curves,
             mrr_curves,
+            eval_rounds,
         }
     }
 }
@@ -370,10 +383,19 @@ mod tests {
         let exp = Experiment::new(cfg);
         let res = exp.run_framework(&Framework::FedAvg(FedAvg::vanilla()));
         // Rounds 1 and 2 are evaluated (cadence hit + final round), so the
-        // recorder holds two non-consecutive rounds as two sequential points.
+        // recorder holds two non-consecutive rounds as two sequential points,
+        // and eval_rounds carries the true round behind each position.
         assert_eq!(res.auc_curves.num_runs(), 2);
         assert_eq!(res.auc_curves.num_rounds(), 2);
         assert_eq!(res.final_auc.n, 2);
+        assert_eq!(res.eval_rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn dense_cadence_has_consecutive_eval_rounds() {
+        let exp = Experiment::new(quick_cfg());
+        let res = exp.run_framework(&Framework::FedAvg(FedAvg::vanilla()));
+        assert_eq!(res.eval_rounds, vec![0, 1]);
     }
 
     #[test]
@@ -381,6 +403,7 @@ mod tests {
         let exp = Experiment::new(quick_cfg());
         let res = exp.run_framework(&Framework::Local);
         assert_eq!(res.auc_curves.num_runs(), 0);
+        assert!(res.eval_rounds.is_empty());
         assert_eq!(res.final_auc.n, 2);
         assert_eq!(res.uplink_units.mean, 0.0);
     }

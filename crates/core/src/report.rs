@@ -18,6 +18,7 @@ pub fn framework_to_json(result: &FrameworkResult) -> Value {
         "auc_mean_curve": result.auc_curves.mean_curve(),
         "auc_max_curve": result.auc_curves.max_curve(),
         "auc_min_curve": result.auc_curves.min_curve(),
+        "eval_rounds": result.eval_rounds,
     })
 }
 
@@ -61,6 +62,7 @@ mod tests {
             uplink_units: MeanStd::of(&[100.0]),
             auc_curves: curves,
             mrr_curves: CurveRecorder::new(),
+            eval_rounds: vec![0, 1],
         }
     }
 
@@ -70,6 +72,7 @@ mod tests {
         assert_eq!(v["name"], "FedAvg");
         assert_eq!(v["final_auc"]["mean"], 0.6);
         assert_eq!(v["auc_mean_curve"].as_array().unwrap().len(), 2);
+        assert_eq!(v["eval_rounds"].as_array().unwrap().len(), 2);
     }
 
     #[test]

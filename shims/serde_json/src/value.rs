@@ -1,7 +1,7 @@
 //! The JSON value tree.
 
 use std::fmt;
-use std::ops::Index;
+use std::ops::{Index, IndexMut};
 
 /// A JSON number. Stored as `f64`; integral values format without a
 /// fractional part, matching how this workspace's documents look on disk.
@@ -44,8 +44,24 @@ impl Value {
         }
     }
 
+    /// Mutably borrow as array elements.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
     /// Borrow as object entries.
     pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow as object entries.
+    pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
         match self {
             Value::Object(o) => Some(o),
             _ => None,
@@ -98,6 +114,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Mutable object field lookup; `None` when absent or not an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }
 
 impl Index<&str> for Value {
@@ -117,6 +141,39 @@ impl Index<usize> for Value {
         match self {
             Value::Array(a) => a.get(idx).unwrap_or(&NULL),
             _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Field write access. Like upstream `serde_json`, indexing `Null`
+    /// with a key turns it into an object, and a missing key is inserted
+    /// as `Null`; indexing any other non-object panics.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Vec::new());
+        }
+        match self {
+            Value::Object(entries) => {
+                if let Some(at) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[at].1
+                } else {
+                    entries.push((key.to_owned(), Value::Null));
+                    &mut entries.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    /// Element write access; panics when out of bounds or not an array,
+    /// like upstream `serde_json`.
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            other => panic!("cannot index {other:?} with a usize"),
         }
     }
 }
