@@ -190,6 +190,8 @@ mod tests {
                     median_ns: *median,
                     min_ns: *median,
                     mean_ns: *median,
+                    clients_per_sec: None,
+                    rounds_per_sec: None,
                 })
                 .collect(),
         }

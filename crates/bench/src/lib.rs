@@ -17,12 +17,21 @@
 //! * `--faults <spec>` — deterministic fault injection, e.g.
 //!   `drop=0.2,straggle=0.1,delay=3,corrupt=0.05,stale=discount:0.5`
 //!   (see `fedda::fl::FaultConfig`'s `FromStr`)
+//! * `--runtime <m>`   — simulation driver: `sync` (default lockstep) or
+//!   `async` (buffered aggregation on `K` arrivals)
+//! * `--async-k <n>`   — async buffer size `K` (requires `--runtime async`)
+//! * `--async-gamma <f>` — async staleness discount `γ ∈ (0, 1]`
+//!   (requires `--runtime async`)
+//! * `--workers <n>`   — worker-pool size for parallel client updates
+//!   (default: one worker per dispatched client; results are identical
+//!   for any value)
 //! * `--quick`         — shrink the *defaults* to CI-smoke size (never
 //!   overrides an explicit `--scale`/`--rounds`/`--runs`)
 //! * `--paper`         — paper-like settings (5 runs, 40 rounds)
 //! * `--events`        — stream per-round driver events to stderr
 
 use fedda::experiment::{Dataset, ExperimentConfig};
+use fedda::fl::{AsyncConfig, RuntimeMode};
 use fedda::hgn::{HgnConfig, TrainConfig};
 use std::collections::HashMap;
 use std::path::Path;
@@ -45,6 +54,10 @@ pub const KNOWN_FLAGS: &[&str] = &[
     "json",
     "faults",
     "dataset",
+    "runtime",
+    "async-k",
+    "async-gamma",
+    "workers",
     "quick",
     "paper",
     "events",
@@ -191,6 +204,41 @@ pub fn experiment_train() -> TrainConfig {
     }
 }
 
+/// Resolve `--runtime` / `--async-k` / `--async-gamma` into a
+/// [`RuntimeMode`]. Typos in the mode name and async knobs given without
+/// `--runtime async` panic with the usage hint, matching [`Options::get`]'s
+/// conventions.
+pub fn runtime_config(opts: &Options) -> RuntimeMode {
+    let mode = match opts.get_str("runtime") {
+        None => RuntimeMode::Sync,
+        Some("sync") => RuntimeMode::Sync,
+        Some("async") => {
+            let mut acfg = AsyncConfig::default();
+            if let Some(k) = opts.get::<usize>("async-k") {
+                acfg.k = k;
+            }
+            if let Some(gamma) = opts.get::<f64>("async-gamma") {
+                acfg.gamma = gamma;
+            }
+            acfg.validate()
+                .unwrap_or_else(|e| panic!("bad async runtime config: {e}\n{}", usage()));
+            RuntimeMode::Async(acfg)
+        }
+        Some(other) => panic!(
+            "bad value for --runtime: {other} (expected sync|async)\n{}",
+            usage()
+        ),
+    };
+    if mode == RuntimeMode::Sync {
+        for knob in ["async-k", "async-gamma"] {
+            if opts.has(knob) {
+                panic!("--{knob} requires --runtime async\n{}", usage());
+            }
+        }
+    }
+    mode
+}
+
 /// Build a baseline [`ExperimentConfig`] for a dataset from parsed options.
 ///
 /// `--quick` shrinks only the *defaults*: an explicit `--scale`,
@@ -214,6 +262,8 @@ pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
         eval_every: opts.get("eval-every").unwrap_or(1),
         seed: opts.get("seed").unwrap_or(0),
         faults: opts.get("faults"),
+        runtime: runtime_config(opts),
+        workers: opts.get("workers"),
         ..Default::default()
     };
     if opts.quick {
@@ -387,6 +437,66 @@ mod tests {
         assert!(err.contains("duplicate flag --scale"), "{err}");
         let err = Options::try_from_args(args(&["--quick", "--quick"])).unwrap_err();
         assert!(err.contains("duplicate flag --quick"), "{err}");
+    }
+
+    #[test]
+    fn runtime_flags_flow_into_config() {
+        // Default and explicit sync.
+        assert_eq!(runtime_config(&Options::default()), RuntimeMode::Sync);
+        let o = Options::from_args(args(&["--runtime", "sync"]));
+        assert_eq!(runtime_config(&o), RuntimeMode::Sync);
+        // Async with knobs.
+        let o = Options::from_args(args(&[
+            "--runtime",
+            "async",
+            "--async-k",
+            "3",
+            "--async-gamma",
+            "0.8",
+        ]));
+        match runtime_config(&o) {
+            RuntimeMode::Async(acfg) => {
+                assert_eq!(acfg.k, 3);
+                assert_eq!(acfg.gamma, 0.8);
+            }
+            other => panic!("expected async mode, got {other:?}"),
+        }
+        // Async defaults apply when knobs are omitted.
+        let o = Options::from_args(args(&["--runtime", "async"]));
+        assert_eq!(
+            runtime_config(&o),
+            RuntimeMode::Async(AsyncConfig::default())
+        );
+        // And base_config threads the mode + workers through.
+        let o = Options::from_args(args(&["--runtime", "async", "--workers", "4"]));
+        let cfg = base_config(Dataset::DblpLike, &o);
+        assert_eq!(cfg.runtime, RuntimeMode::Async(AsyncConfig::default()));
+        assert_eq!(cfg.workers, Some(4));
+        assert_eq!(
+            base_config(Dataset::DblpLike, &Options::default()).runtime,
+            RuntimeMode::Sync
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --runtime")]
+    fn runtime_typo_panics_naming_choices() {
+        let o = Options::from_args(args(&["--runtime", "asink"]));
+        let _ = runtime_config(&o);
+    }
+
+    #[test]
+    #[should_panic(expected = "--async-k requires --runtime async")]
+    fn async_knobs_without_async_runtime_panic() {
+        let o = Options::from_args(args(&["--async-k", "3"]));
+        let _ = runtime_config(&o);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad async runtime config")]
+    fn invalid_async_gamma_panics() {
+        let o = Options::from_args(args(&["--runtime", "async", "--async-gamma", "1.5"]));
+        let _ = runtime_config(&o);
     }
 
     #[test]

@@ -36,18 +36,33 @@ pub struct CaseResult {
     pub min_ns: u64,
     /// Mean over samples (ns/iter).
     pub mean_ns: u64,
+    /// Derived throughput for FL cases: dispatched clients per second at
+    /// the median. Additive optional field — absent for non-FL cases and
+    /// in snapshots written before it existed, so the schema version is
+    /// unchanged.
+    pub clients_per_sec: Option<f64>,
+    /// Derived throughput for FL cases: rounds per second at the median
+    /// (additive optional field, same compatibility rules).
+    pub rounds_per_sec: Option<f64>,
 }
 
 impl CaseResult {
     fn to_value(&self) -> Value {
-        json!({
+        let mut v = json!({
             "name": self.name,
             "iters": self.iters,
             "samples": self.samples,
             "median_ns": self.median_ns,
             "min_ns": self.min_ns,
             "mean_ns": self.mean_ns,
-        })
+        });
+        if let Some(cps) = self.clients_per_sec {
+            v["clients_per_sec"] = json!(cps);
+        }
+        if let Some(rps) = self.rounds_per_sec {
+            v["rounds_per_sec"] = json!(rps);
+        }
+        v
     }
 
     fn from_value(v: &Value) -> Result<Self, String> {
@@ -65,6 +80,9 @@ impl CaseResult {
             median_ns: field("median_ns")?,
             min_ns: field("min_ns")?,
             mean_ns: field("mean_ns")?,
+            // Lenient on purpose: older snapshots predate these fields.
+            clients_per_sec: v["clients_per_sec"].as_f64(),
+            rounds_per_sec: v["rounds_per_sec"].as_f64(),
         })
     }
 }
@@ -278,6 +296,8 @@ pub fn time_case<F: FnMut()>(name: &str, samples: u64, iters: u64, mut f: F) -> 
         median_ns,
         min_ns,
         mean_ns,
+        clients_per_sec: None,
+        rounds_per_sec: None,
     }
 }
 
@@ -307,6 +327,8 @@ mod tests {
                     median_ns: 1_000,
                     min_ns: 900,
                     mean_ns: 1_050,
+                    clients_per_sec: None,
+                    rounds_per_sec: None,
                 },
                 CaseResult {
                     name: "fl_round/fedavg/s0.0015".into(),
@@ -315,6 +337,8 @@ mod tests {
                     median_ns: 2_000_000,
                     min_ns: 1_900_000,
                     mean_ns: 2_100_000,
+                    clients_per_sec: Some(16_000.0),
+                    rounds_per_sec: Some(500.0),
                 },
             ],
         }
@@ -345,6 +369,23 @@ mod tests {
         snap.env.fedda_threads_env = None;
         let back = Snapshot::from_value(&snap.to_value()).unwrap();
         assert_eq!(back.env.fedda_threads_env, None);
+    }
+
+    #[test]
+    fn throughput_fields_are_additive_and_lenient() {
+        let v = sample_snapshot().to_value();
+        // Written only where set…
+        assert!(v["cases"][0].get("clients_per_sec").is_none());
+        assert_eq!(v["cases"][1]["clients_per_sec"].as_f64(), Some(16_000.0));
+        assert_eq!(v["cases"][1]["rounds_per_sec"].as_f64(), Some(500.0));
+        // …and snapshots from before the fields existed read back as None,
+        // without a schema bump.
+        let mut old = v.clone();
+        let case = old["cases"][1].as_object_mut().unwrap();
+        case.retain(|(k, _)| k != "clients_per_sec" && k != "rounds_per_sec");
+        let back = Snapshot::from_value(&old).unwrap();
+        assert_eq!(back.cases[1].clients_per_sec, None);
+        assert_eq!(back.cases[1].rounds_per_sec, None);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::snapshot::{time_case, CaseResult};
 use crate::{experiment_model, experiment_train};
 use fedda::experiment::{Dataset, Experiment, ExperimentConfig, Framework};
-use fedda::fl::{FedAvg, FedDa};
+use fedda::fl::{
+    AsyncConfig, AsyncDriver, FedAvg, FedDa, FlConfig, FlSystem, RoundDriver, RuntimeMode,
+};
+use fedda_hetgraph::split::split_edges;
 use fedda_hetgraph::LinkSampler;
 use fedda_hgn::{GraphView, SimpleHgn};
 use fedda_tensor::{gemm, Graph, Matrix, TapeBindings};
@@ -76,6 +79,14 @@ impl SuiteConfig {
             &[0.0008, 0.0015]
         } else {
             &[0.0015, 0.003, 0.006]
+        }
+    }
+
+    fn throughput_clients(&self) -> &'static [usize] {
+        if self.smoke {
+            &[1_000]
+        } else {
+            &[1_000, 10_000]
         }
     }
 }
@@ -209,7 +220,110 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<CaseResult> {
         }
     }
 
+    // 4. The same round under the buffered-async runtime (K = 2,
+    //    γ = 0.9) at the smallest FL scale — pins the event-queue
+    //    overhead relative to the sync facade above.
+    let async_exp = Experiment::new(ExperimentConfig {
+        dataset: Dataset::DblpLike,
+        scale: cfg.fl_scales()[0],
+        num_clients: 4,
+        rounds: 1,
+        runs: 1,
+        model: experiment_model(false),
+        train: experiment_train(),
+        seed: cfg.seed,
+        runtime: RuntimeMode::Async(AsyncConfig { k: 2, gamma: 0.9 }),
+        ..Default::default()
+    });
+    let protocols: &[(&str, Framework)] = &[
+        ("fedavg", Framework::FedAvg(FedAvg::vanilla())),
+        ("fedda_explore", Framework::FedDa(FedDa::explore())),
+    ];
+    for (label, framework) in protocols {
+        let case = time_case(
+            &format!("fl_round_async/{label}/s{}", cfg.fl_scales()[0]),
+            cfg.samples(),
+            1,
+            || {
+                black_box(async_exp.run_framework(framework));
+            },
+        );
+        push(&mut out, case);
+    }
+
+    // 5. Large-federation throughput: one round over 10³–10⁴ registered
+    //    clients with paper-style fraction sampling (C chosen so ~32
+    //    clients dispatch per round), in both runtimes. The federation
+    //    replicates a tiny partitioned dataset — per-client work stays
+    //    constant while registration count scales, so these cases measure
+    //    the runtime's scheduling/selection overhead. Throughput lands in
+    //    the snapshot as clients_per_sec / rounds_per_sec.
+    for &m in cfg.throughput_clients() {
+        for runtime in ["sync", "async"] {
+            let (mut sys, dispatched) = throughput_system(m, cfg.seed);
+            let mut case = time_case(
+                &format!("fl_throughput/{runtime}/m{m}"),
+                cfg.samples(),
+                1,
+                || {
+                    let result = match runtime {
+                        "sync" => RoundDriver::new()
+                            .run(&mut FedAvg::with_fractions(32.0 / m as f64, 1.0), &mut sys),
+                        _ => AsyncDriver::new(AsyncConfig { k: 8, gamma: 0.9 })
+                            .run(&mut FedAvg::with_fractions(32.0 / m as f64, 1.0), &mut sys),
+                    };
+                    black_box(result.expect("throughput run"));
+                },
+            );
+            let sec = (case.median_ns.max(1)) as f64 / 1e9;
+            case.clients_per_sec = Some(dispatched as f64 / sec);
+            case.rounds_per_sec = Some(1.0 / sec);
+            push(&mut out, case);
+        }
+    }
+
     out
+}
+
+/// Build the large-federation system for the throughput cases: a tiny
+/// DBLP-like graph partitioned into 4 real clients, replicated cyclically
+/// to `m` registered clients (each replica gets its own derived RNG seed
+/// from `FlSystem::new`). Returns the system plus the per-round dispatch
+/// count under `C = 32/m`.
+fn throughput_system(m: usize, seed: u64) -> (FlSystem, usize) {
+    let g = fedda::data::dblp_like(&fedda::data::PresetOptions {
+        scale: 0.0008,
+        seed,
+        ..Default::default()
+    })
+    .graph;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_edges(&g, 0.15, &mut rng);
+    let pcfg = fedda::data::PartitionConfig::paper_defaults(4, g.schema().num_edge_types(), seed);
+    let base = fedda::data::partition_non_iid(&split.train, &pcfg);
+    let clients: Vec<fedda::data::ClientData> =
+        (0..m).map(|i| base[i % base.len()].clone()).collect();
+    let cfg = FlConfig {
+        rounds: 1,
+        model: fedda_hgn::HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 1,
+            edge_emb_dim: 4,
+            ..Default::default()
+        },
+        train: experiment_train(),
+        eval_negatives: 2,
+        seed,
+        parallel: true,
+        workers: Some(8),
+        ..Default::default()
+    };
+    let dispatched = ((m as f64) * (32.0 / m as f64)).round().max(1.0) as usize;
+    (
+        FlSystem::new(&split.train, &split.test, clients, cfg),
+        dispatched,
+    )
 }
 
 #[cfg(test)]

@@ -44,6 +44,8 @@ SUBCOMMANDS:
                   fedda-restart|fedda-explore  [--clients <n>]  [--rounds <n>]
                   [--runs <n>]  [--scale <f64>]  [--seed <u64>]
                   [--eval-every <n>]  [--events]
+                  [--runtime sync|async]  [--async-k <n>]
+                  [--async-gamma <f64>]  [--workers <n>]
                   [--faults drop=<f64>,straggle=<f64>,delay=<n>,
                    corrupt=<f64>,kind=nan|inf|garbage:<s>,
                    stale=discard|discount:<g>,maxnorm=<f64>]

@@ -6,8 +6,8 @@ use fedda_data::{
     PresetOptions,
 };
 use fedda_fl::{
-    baselines, AggWeighting, EventSink, FaultConfig, FedAvg, FedDa, FlConfig, FlProtocol, FlSystem,
-    GlobalProtocol, PrivacyConfig, RoundDriver,
+    baselines, AggWeighting, AsyncDriver, EventSink, FaultConfig, FedAvg, FedDa, FlConfig,
+    FlProtocol, FlSystem, GlobalProtocol, PrivacyConfig, RoundDriver, RuntimeMode,
 };
 use fedda_hetgraph::split::{split_edges, EdgeSplit};
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -72,6 +72,13 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Parallel client updates.
     pub parallel: bool,
+    /// Worker-pool size for parallel client updates (`FlConfig::workers`;
+    /// `None` = one worker per dispatched client). Results are identical
+    /// for any value — this is a resource knob, not a semantic one.
+    pub workers: Option<usize>,
+    /// Which simulation driver executes the round protocol: the lockstep
+    /// [`RoundDriver`] facade or the buffered-asynchronous [`AsyncDriver`].
+    pub runtime: RuntimeMode,
     /// Aggregation weighting (Eq. 5's `p_i`; the paper uses uniform).
     pub weighting: AggWeighting,
     /// Optional client-side differential privacy (clip + Gaussian noise).
@@ -101,6 +108,8 @@ impl Default for ExperimentConfig {
             eval_every: 1,
             seed: 0,
             parallel: true,
+            workers: None,
+            runtime: RuntimeMode::Sync,
             weighting: AggWeighting::Uniform,
             privacy: None,
             faults: None,
@@ -241,6 +250,7 @@ impl Experiment {
             eval_every: self.cfg.eval_every,
             seed: self.run_seed(run),
             parallel: self.cfg.parallel,
+            workers: self.cfg.workers,
             privacy: self.cfg.privacy,
             weighting: self.cfg.weighting,
             faults: self.cfg.faults.clone(),
@@ -279,13 +289,23 @@ impl Experiment {
                     uplinks.push(0.0);
                 }
                 Some(mut protocol) => {
-                    let mut driver = match sink.as_deref_mut() {
-                        Some(s) => RoundDriver::with_sink(s),
-                        None => RoundDriver::new(),
-                    };
-                    let result = driver
-                        .run(protocol.as_mut(), &mut system)
-                        .unwrap_or_else(|e| panic!("{e}"));
+                    let result = match &self.cfg.runtime {
+                        RuntimeMode::Sync => {
+                            let mut driver = match sink.as_deref_mut() {
+                                Some(s) => RoundDriver::with_sink(s),
+                                None => RoundDriver::new(),
+                            };
+                            driver.run(protocol.as_mut(), &mut system)
+                        }
+                        RuntimeMode::Async(acfg) => {
+                            let mut driver = match sink.as_deref_mut() {
+                                Some(s) => AsyncDriver::with_sink(*acfg, s),
+                                None => AsyncDriver::new(*acfg),
+                            };
+                            driver.run(protocol.as_mut(), &mut system)
+                        }
+                    }
+                    .unwrap_or_else(|e| panic!("{e}"));
                     // Record by evaluation-point position, not round number:
                     // with a sparse `eval_every` cadence the evaluated rounds
                     // are not consecutive.
@@ -346,6 +366,8 @@ mod tests {
             eval_every: 1,
             seed: 7,
             parallel: true,
+            workers: None,
+            runtime: RuntimeMode::Sync,
             iid: false,
             weighting: Default::default(),
             privacy: None,

@@ -1,4 +1,5 @@
-//! The shared round loop every protocol runs on.
+//! The shared round loop every protocol runs on — a synchronous facade
+//! over the event-driven [`runtime`](crate::runtime).
 //!
 //! [`RoundDriver::run`] owns the canonical federated round — broadcast to
 //! the selected clients, parallel local updates, masked aggregation
@@ -8,26 +9,53 @@
 //! dynamics. FedAvg, both FedDA strategies and the `Global` baseline all
 //! execute through this loop; their seeded behaviour is pinned bit-for-bit
 //! by the `golden_curves` regression tests.
+//!
+//! Internally round `r` occupies virtual tick `r`: the scheduler pops
+//! `Dispatch(r)` (selection, masks, local training, arrival scheduling),
+//! then this round's arrivals — stale straggler reports scheduled in
+//! earlier rounds first (they carry older sequence numbers), then the
+//! fresh reports — and finally `Seal(r)` (guard checks, Eq. 6 aggregation
+//! over the mailbox, accounting, eval). Because every hook fires in the
+//! same order, with the same RNG draws and the same f64 accumulation
+//! order as the pre-runtime lockstep loop, sync results are bit-identical
+//! to it; [`AsyncDriver`](crate::AsyncDriver) reuses the same runtime with
+//! multi-tick latencies instead.
 
 use crate::events::{EventSink, RoundEvent};
 use crate::faults::{
     corrupt_return, detect_rejection, FaultConfig, FaultEffect, FaultKind, FaultObserved, FaultPlan,
 };
 use crate::protocol::FlProtocol;
-use crate::system::{
-    ActivationSnapshot, ClientReturn, FlSystem, RoundEval, RunResult, WeightedReturn,
-};
+use crate::runtime::{Delivery, Mailbox, Scheduler, Tick};
+use crate::system::{ActivationSnapshot, FlSystem, RoundEval, RunResult, WeightedReturn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// A straggler's report parked server-side until its arrival round.
-struct HeldReport {
-    client: usize,
-    from_round: usize,
-    arrival: usize,
-    ret: ClientReturn,
-    mask: Vec<bool>,
+/// Events of the synchronous simulation: each round dispatches, collects
+/// arrivals, and seals, all at its own tick.
+enum SimEvent {
+    /// Start round `round`: selection, masks, local training, scheduling
+    /// of report arrivals.
+    Dispatch { round: usize },
+    /// A client report reaches the server (fresh at its dispatch tick,
+    /// stale at `dispatch + delay` for held stragglers).
+    Arrival(Delivery),
+    /// Close round `round`: drain the mailbox, aggregate, account, eval.
+    Seal { round: usize },
+}
+
+/// Per-round state carried from `Dispatch` to `Seal`.
+struct RoundState {
+    round: usize,
+    active: Vec<usize>,
+    mask_density: f64,
+    /// One observation slot per active position, so dispatch-time effects
+    /// (dropout, straggler-held) and seal-time effects (guard rejections)
+    /// interleave in client-position order — the stream order the chaos
+    /// harness pins.
+    slots: Vec<Option<FaultObserved>>,
+    started: Instant,
 }
 
 /// Executes an [`FlProtocol`] over an [`FlSystem`], optionally streaming
@@ -73,151 +101,111 @@ impl<'a> RoundDriver<'a> {
         let plan = fault_cfg
             .as_ref()
             .map(|fc| FaultPlan::generate(fc, rounds, system.num_clients(), system.config().seed));
-        let mut pending: Vec<HeldReport> = Vec::new();
         protocol.begin(system, &mut rng);
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.begin_run(&protocol.name(), rounds);
         }
 
-        let mut result = RunResult::default();
+        // Every Dispatch is scheduled up front, so at any tick it carries
+        // the lowest sequence number and pops before that round's arrivals
+        // and Seal.
+        let mut sched: Scheduler<SimEvent> = Scheduler::new();
         for round in 0..rounds {
-            // fedda-lint: allow(wall-clock, reason = "round wall-time telemetry only; never feeds selection, masking, aggregation or any logged curve")
-            let started = Instant::now();
-            let active = protocol.select_clients(system, round, &mut rng);
-            let masks = protocol.build_masks(system, &active, round, &mut rng);
-            debug_assert_eq!(masks.len(), active.len(), "one mask per active client");
-            let mask_density = mean_mask_density(&masks);
-            let (returns, comm, fault_obs) = match (&plan, &fault_cfg) {
-                (Some(plan), Some(fc)) => run_faulted_round(
-                    system,
-                    plan,
-                    fc,
-                    &active,
-                    &masks,
-                    round,
-                    rounds,
-                    &mut pending,
-                ),
-                _ => {
-                    // Fault-free path: byte-for-byte the pre-fault loop so
-                    // every golden curve stays bit-identical.
-                    let returns = system.run_local_round(&active, round);
-                    system.aggregate_masked(&returns, &masks);
-                    let comm = system.round_comm(&masks);
-                    (returns, comm, Vec::new())
+            sched.schedule_at(round as Tick, SimEvent::Dispatch { round });
+        }
+        // Every held straggler report can land in one round at worst, plus
+        // a full fresh wave.
+        let mut mailbox: Mailbox<Delivery> =
+            Mailbox::new(system.num_clients() * rounds.max(1) + system.num_clients());
+        let mut state: Option<RoundState> = None;
+
+        let mut result = RunResult::default();
+        while let Some((_tick, event)) = sched.pop() {
+            match event {
+                SimEvent::Dispatch { round } => {
+                    let st = dispatch_round(
+                        system, protocol, &mut rng, &plan, round, rounds, &mut sched,
+                    );
+                    state = Some(st);
                 }
-            };
-            // Protocols that activate no one (the Global baseline) keep an
-            // empty comm log, matching their pre-driver behaviour.
-            if !active.is_empty() {
-                result.comm.push(comm);
+                SimEvent::Arrival(delivery) => mailbox.push(delivery),
+                SimEvent::Seal { round } => {
+                    let st = state
+                        .take()
+                        // fedda-lint: allow(panic-path, reason = "Dispatch(r) always precedes Seal(r) in the event order above; a missing state is driver-internal corruption")
+                        .expect("Seal without a dispatched round");
+                    debug_assert_eq!(st.round, round);
+                    seal_round(
+                        system,
+                        protocol,
+                        &mut rng,
+                        &fault_cfg,
+                        st,
+                        &mut mailbox,
+                        eval_every,
+                        rounds,
+                        &mut result,
+                        self.sink.as_deref_mut(),
+                    );
+                }
             }
-            if !fault_obs.is_empty() {
-                protocol.on_faults(system, &fault_obs, round);
-            }
-            let outcome = protocol.post_aggregate(system, &active, &returns, round, &mut rng);
-            if protocol.traces_activation() {
-                result.activation_trace.push(ActivationSnapshot {
-                    active_clients: active.clone(),
-                    mask_density,
-                    deactivated: outcome.deactivated.clone(),
-                    reactivated: outcome.reactivated.clone(),
-                    restarted: outcome.restarted,
-                });
-            }
-            let eval = if (round + 1) % eval_every == 0 || round + 1 == rounds {
-                let eval = system.evaluate_global(round);
-                let point = RoundEval {
-                    round,
-                    roc_auc: eval.roc_auc,
-                    mrr: eval.mrr,
-                };
-                result.curve.push(point);
-                result.final_eval = eval;
-                Some(point)
-            } else {
-                None
-            };
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.on_round(&RoundEvent {
-                    round,
-                    active_clients: active,
-                    mask_density,
-                    comm,
-                    deactivated: outcome.deactivated,
-                    reactivated: outcome.reactivated,
-                    restarted: outcome.restarted,
-                    faults: fault_obs.clone(),
-                    eval,
-                    wall_ms: started.elapsed().as_secs_f64() * 1e3,
-                });
-            }
-            result.faults.extend(fault_obs);
         }
         Ok(result)
     }
 }
 
-/// One round under fault injection: run the local updates of every
-/// selected client that will report this round, apply scheduled
-/// corruptions and hold scheduled stragglers, admit this round's stale
-/// arrivals per the staleness policy, aggregate the admissible
-/// contributions with renormalised weights, and account only the bytes
-/// that actually moved.
-///
-/// Returns the fresh admissible returns (what `post_aggregate` sees), the
-/// round's comm counters and the structured fault records — fresh-round
-/// effects in ascending client order, then stale arrivals in the order
-/// they were held.
-#[allow(clippy::too_many_arguments)]
-fn run_faulted_round(
+/// Open round `round`: select and mask clients, run their local updates on
+/// the worker pool, apply dispatch-time fault effects, and schedule every
+/// report that will ever arrive — fresh ones at this tick, held straggler
+/// reports at their arrival tick (reports landing after the run ends are
+/// dropped on the floor and never charged).
+fn dispatch_round(
     system: &mut FlSystem,
-    plan: &FaultPlan,
-    fc: &FaultConfig,
-    active: &[usize],
-    masks: &[Vec<bool>],
+    protocol: &mut dyn FlProtocol,
+    rng: &mut StdRng,
+    plan: &Option<FaultPlan>,
     round: usize,
     rounds: usize,
-    pending: &mut Vec<HeldReport>,
-) -> (
-    Vec<ClientReturn>,
-    crate::comm::RoundComm,
-    Vec<FaultObserved>,
-) {
+    sched: &mut Scheduler<SimEvent>,
+) -> RoundState {
+    // fedda-lint: allow(wall-clock, reason = "round wall-time telemetry only; never feeds selection, masking, aggregation or any logged curve")
+    let started = Instant::now();
+    let active = protocol.select_clients(system, round, rng);
+    let masks = protocol.build_masks(system, &active, round, rng);
+    debug_assert_eq!(masks.len(), active.len(), "one mask per active client");
+    let mask_density = mean_mask_density(&masks);
+
     // Dropped clients never report, so their local compute is skipped
     // outright; stragglers and corrupted clients still train.
     let reporting: Vec<usize> = active
         .iter()
         .copied()
-        .filter(|&c| plan.fault_at(round, c) != Some(FaultKind::Dropout))
+        .filter(|&c| plan.as_ref().and_then(|p| p.fault_at(round, c)) != Some(FaultKind::Dropout))
         .collect();
-    let broadcast = system.global.clone();
-    let mut returns = system.run_local_round(&reporting, round);
+    let broadcast = plan.as_ref().map(|_| system.global.clone());
+    let mut returns = system.run_local_round(&reporting, round).into_iter();
 
-    let mut observations: Vec<FaultObserved> = Vec::new();
-    let mut survivors: Vec<ClientReturn> = Vec::new();
-    let mut survivor_masks: Vec<Vec<bool>> = Vec::new();
-    let mut uplink_masks: Vec<Vec<bool>> = Vec::new();
-    let mut returns_iter = returns.drain(..);
-    for (j, &client) in active.iter().enumerate() {
-        let fault = plan.fault_at(round, client);
+    let mut slots: Vec<Option<FaultObserved>> = Vec::new();
+    slots.resize_with(active.len(), || None);
+    for (pos, &client) in active.iter().enumerate() {
+        let fault = plan.as_ref().and_then(|p| p.fault_at(round, client));
         if fault == Some(FaultKind::Dropout) {
-            observations.push(FaultObserved {
+            slots[pos] = Some(FaultObserved {
                 round,
                 client,
                 effect: FaultEffect::Dropout,
             });
             continue;
         }
-        let mut ret = returns_iter
+        let mut ret = returns
             .next()
             // fedda-lint: allow(panic-path, reason = "run_local_round returns exactly one entry per non-dropout client; a shortfall is driver-internal corruption")
             .expect("one return per reporting client");
         debug_assert_eq!(ret.client, client);
-        match fault {
+        let arrival_tick = match fault {
             Some(FaultKind::Straggler { delay }) => {
                 let arrives = round + delay;
-                observations.push(FaultObserved {
+                slots[pos] = Some(FaultObserved {
                     round,
                     client,
                     effect: FaultEffect::StragglerHeld {
@@ -226,114 +214,204 @@ fn run_faulted_round(
                 });
                 // Reports that would land after the run ends are dropped on
                 // the floor — their bytes never transfer.
-                if arrives < rounds {
-                    pending.push(HeldReport {
-                        client,
-                        from_round: round,
-                        arrival: arrives,
-                        ret,
-                        mask: masks[j].clone(),
-                    });
+                if arrives >= rounds {
+                    continue;
                 }
+                arrives as Tick
             }
             Some(FaultKind::Corruption(kind)) => {
-                corrupt_return(&mut ret, &broadcast, kind);
-                // The corrupted bytes still crossed the network before the
-                // server could inspect them.
-                uplink_masks.push(masks[j].clone());
-                match detect_rejection(&ret, fc) {
-                    Some(effect) => observations.push(FaultObserved {
-                        round,
-                        client,
-                        effect,
-                    }),
-                    // An undetectable corruption (finite garbage with no
-                    // norm bound) sails through like a healthy report.
-                    None => {
-                        survivors.push(ret);
-                        survivor_masks.push(masks[j].clone());
-                    }
+                if let Some(broadcast) = &broadcast {
+                    corrupt_return(&mut ret, broadcast, kind);
                 }
+                round as Tick
             }
             Some(FaultKind::Dropout) => unreachable!("dropouts filtered above"),
-            None => {
-                uplink_masks.push(masks[j].clone());
-                // The server-side guard applies to every arriving report,
-                // so even un-injected non-finite updates are caught here.
-                match detect_rejection(&ret, fc) {
-                    Some(effect) => observations.push(FaultObserved {
-                        round,
-                        client,
-                        effect,
-                    }),
-                    None => {
-                        survivors.push(ret);
-                        survivor_masks.push(masks[j].clone());
-                    }
-                }
+            None => round as Tick,
+        };
+        sched.schedule_at(
+            arrival_tick,
+            SimEvent::Arrival(Delivery {
+                client,
+                dispatch_pos: pos,
+                dispatch_round: round,
+                ret,
+                mask: masks[pos].clone(),
+            }),
+        );
+    }
+    // The Seal outranks (in sequence number) every fresh arrival scheduled
+    // above, so it pops last at this tick.
+    sched.schedule_at(round as Tick, SimEvent::Seal { round });
+    RoundState {
+        round,
+        active,
+        mask_density,
+        slots,
+        started,
+    }
+}
+
+/// Close a round: admit the mailbox's deliveries (server-side guard, then
+/// the staleness policy for late reports), aggregate the admissible
+/// contributions with renormalised weights (Eq. 6), account the bytes that
+/// actually moved, run the protocol's fault/post-aggregate hooks and the
+/// evaluation cadence, and emit the round's event.
+#[allow(clippy::too_many_arguments)]
+fn seal_round(
+    system: &mut FlSystem,
+    protocol: &mut dyn FlProtocol,
+    rng: &mut StdRng,
+    fault_cfg: &Option<FaultConfig>,
+    st: RoundState,
+    mailbox: &mut Mailbox<Delivery>,
+    eval_every: usize,
+    rounds: usize,
+    result: &mut RunResult,
+    sink: Option<&mut (dyn EventSink + '_)>,
+) {
+    let RoundState {
+        round,
+        active,
+        mask_density,
+        mut slots,
+        started,
+    } = st;
+    // The queue delivers stale arrivals (older sequence numbers) before
+    // this round's fresh ones; aggregation order is fresh-then-stale, so
+    // split them back apart.
+    let (stale_in, fresh): (Vec<Delivery>, Vec<Delivery>) = mailbox
+        .drain()
+        .into_iter()
+        .partition(|d| d.dispatch_round < round);
+
+    let mut observations: Vec<FaultObserved> = Vec::new();
+    let mut survivors: Vec<Delivery> = Vec::new();
+    let mut uplink_masks: Vec<Vec<bool>> = Vec::new();
+    for d in fresh {
+        uplink_masks.push(d.mask.clone());
+        // The server-side guard applies to every arriving report, so even
+        // un-injected non-finite updates are caught here.
+        let rejection = fault_cfg
+            .as_ref()
+            .and_then(|fc| detect_rejection(&d.ret, fc));
+        match rejection {
+            Some(effect) => {
+                slots[d.dispatch_pos] = Some(FaultObserved {
+                    round,
+                    client: d.client,
+                    effect,
+                })
             }
+            None => survivors.push(d),
         }
     }
-    drop(returns_iter);
-
     // This round's stale arrivals: bytes transfer now, and the staleness
     // policy decides whether (and at what weight) they aggregate.
-    let mut stale: Vec<(ClientReturn, Vec<bool>, f64)> = Vec::new();
-    let mut still_pending = Vec::new();
-    for held in pending.drain(..) {
-        if held.arrival != round {
-            still_pending.push(held);
-            continue;
-        }
-        let staleness = round - held.from_round;
-        uplink_masks.push(held.mask.clone());
-        if let Some(effect) = detect_rejection(&held.ret, fc) {
-            observations.push(FaultObserved {
-                round,
-                client: held.client,
-                effect,
-            });
-            continue;
-        }
-        match fc.staleness.weight(staleness) {
-            Some(weight) => {
+    let mut stale: Vec<(Delivery, f64)> = Vec::new();
+    for d in stale_in {
+        let staleness = round - d.dispatch_round;
+        uplink_masks.push(d.mask.clone());
+        if let Some(fc) = fault_cfg {
+            if let Some(effect) = detect_rejection(&d.ret, fc) {
                 observations.push(FaultObserved {
                     round,
-                    client: held.client,
-                    effect: FaultEffect::StaleApplied { staleness, weight },
+                    client: d.client,
+                    effect,
                 });
-                stale.push((held.ret, held.mask, weight));
+                continue;
             }
-            None => observations.push(FaultObserved {
-                round,
-                client: held.client,
-                effect: FaultEffect::StaleDiscarded { staleness },
-            }),
+            match fc.staleness.weight(staleness) {
+                Some(weight) => {
+                    observations.push(FaultObserved {
+                        round,
+                        client: d.client,
+                        effect: FaultEffect::StaleApplied { staleness, weight },
+                    });
+                    stale.push((d, weight));
+                }
+                None => observations.push(FaultObserved {
+                    round,
+                    client: d.client,
+                    effect: FaultEffect::StaleDiscarded { staleness },
+                }),
+            }
         }
     }
-    *pending = still_pending;
+    // Fresh effects in client-position order, then stale arrivals in held
+    // order — the pinned observation stream.
+    let mut fault_obs: Vec<FaultObserved> = slots.into_iter().flatten().collect();
+    fault_obs.append(&mut observations);
 
+    // Fresh survivors first, stale after: the f64 accumulation order of
+    // the pre-runtime loop, bit for bit.
     let contributions: Vec<WeightedReturn<'_>> = survivors
         .iter()
-        .zip(&survivor_masks)
-        .map(|(ret, mask)| WeightedReturn {
-            ret,
-            mask,
+        .map(|d| WeightedReturn {
+            ret: &d.ret,
+            mask: &d.mask,
             scale: 1.0,
         })
-        .chain(stale.iter().map(|(ret, mask, weight)| WeightedReturn {
-            ret,
-            mask,
+        .chain(stale.iter().map(|(d, weight)| WeightedReturn {
+            ret: &d.ret,
+            mask: &d.mask,
             scale: *weight,
         }))
         .collect();
     system.aggregate_weighted(&contributions);
     let comm = system.round_comm_parts(active.len(), &uplink_masks);
-    (survivors, comm, observations)
+    // Protocols that activate no one (the Global baseline) keep an empty
+    // comm log — but a round whose only traffic is a stale straggler
+    // arrival still moved bytes, so it stays on the ledger even when
+    // nobody was selected (previously such rounds were silently dropped).
+    if !active.is_empty() || comm.uplink_units > 0 {
+        result.comm.push(comm);
+    }
+    if !fault_obs.is_empty() {
+        protocol.on_faults(system, &fault_obs, round);
+    }
+    let returns: Vec<crate::system::ClientReturn> = survivors.into_iter().map(|d| d.ret).collect();
+    let outcome = protocol.post_aggregate(system, &active, &returns, round, rng);
+    if protocol.traces_activation() {
+        result.activation_trace.push(ActivationSnapshot {
+            active_clients: active.clone(),
+            mask_density,
+            deactivated: outcome.deactivated.clone(),
+            reactivated: outcome.reactivated.clone(),
+            restarted: outcome.restarted,
+        });
+    }
+    let eval = if (round + 1) % eval_every == 0 || round + 1 == rounds {
+        let eval = system.evaluate_global(round);
+        let point = RoundEval {
+            round,
+            roc_auc: eval.roc_auc,
+            mrr: eval.mrr,
+        };
+        result.curve.push(point);
+        result.final_eval = eval;
+        Some(point)
+    } else {
+        None
+    };
+    if let Some(sink) = sink {
+        sink.on_round(&RoundEvent {
+            round,
+            active_clients: active,
+            mask_density,
+            comm,
+            deactivated: outcome.deactivated,
+            reactivated: outcome.reactivated,
+            restarted: outcome.restarted,
+            faults: fault_obs.clone(),
+            eval,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    result.faults.extend(fault_obs);
 }
 
 /// Mean fraction of requested units per mask; `0.0` for an empty mask set.
-fn mean_mask_density(masks: &[Vec<bool>]) -> f64 {
+pub(crate) fn mean_mask_density(masks: &[Vec<bool>]) -> f64 {
     if masks.is_empty() {
         return 0.0;
     }

@@ -22,15 +22,20 @@
 //!   (exercised by the `chaos` test harness).
 //!
 //! Every round protocol implements [`FlProtocol`] and executes on the
-//! shared [`RoundDriver`] — the single canonical round loop (broadcast,
-//! parallel local round, masked aggregation, comm accounting, evaluation
-//! cadence) with structured per-round [`RoundEvent`]s streamed to a
-//! pluggable [`EventSink`].
+//! event-driven simulation [`runtime`] (deterministic virtual clock,
+//! ordered event queue, worker pool, bounded mailbox) through one of two
+//! drivers: the synchronous [`RoundDriver`] facade — the canonical
+//! lockstep round loop (broadcast, parallel local round, masked
+//! aggregation, comm accounting, evaluation cadence), bit-identical to
+//! its pre-runtime form — or the buffered-asynchronous [`AsyncDriver`]
+//! (aggregate-on-K-arrivals with `γ^staleness` discounting). Both stream
+//! structured per-round [`RoundEvent`]s to a pluggable [`EventSink`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+mod async_driver;
 pub mod baselines;
 mod comm;
 mod driver;
@@ -39,8 +44,10 @@ pub mod faults;
 mod fedavg;
 mod fedda;
 mod protocol;
+pub mod runtime;
 mod system;
 
+pub use async_driver::{AsyncConfig, AsyncDriver, RuntimeMode};
 pub use baselines::GlobalProtocol;
 pub use comm::{CommLog, RoundComm};
 pub use driver::RoundDriver;

@@ -1,0 +1,361 @@
+//! The deterministic event-driven simulation runtime under both drivers.
+//!
+//! Everything here runs on *virtual time*: an integer [`Tick`] clock that
+//! only advances when the [`Scheduler`] pops an event, never from a wall
+//! clock (fedda-lint rule D2 keeps `Instant`/`SystemTime` out of this
+//! crate's logic). Determinism falls out of two invariants:
+//!
+//! 1. **Total event order.** Every scheduled event gets a `(tick, seq)`
+//!    key where `seq` is a monotonically increasing schedule counter, so
+//!    same-tick events pop in the exact order they were scheduled — a
+//!    `BTreeMap` queue, no hashing, no iteration-order surprises.
+//! 2. **Pure tasks.** Client work dispatched through the [`WorkerPool`]
+//!    is a pure function of its inputs (each client's training RNG is
+//!    derived from `(client seed, round)`), so results are identical for
+//!    any pool size and any interleaving; `run_ordered` additionally
+//!    returns results in submission order.
+//!
+//! [`RoundDriver`](crate::RoundDriver) is a synchronous facade over this
+//! runtime (round `r` occupies tick `r`); the buffered-asynchronous
+//! [`AsyncDriver`](crate::AsyncDriver) lets deliveries span many ticks and
+//! aggregates from a bounded [`Mailbox`].
+
+use crate::system::ClientReturn;
+use std::collections::BTreeMap;
+
+/// Virtual time, in integer ticks. The sync facade maps round `r` to tick
+/// `r`; the async driver charges one tick of latency per healthy report
+/// plus the fault plan's straggler delay.
+pub type Tick = u64;
+
+/// A monotonic virtual clock. Advances only via [`VirtualClock::advance_to`]
+/// — there is no wall-time source anywhere in the runtime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualClock {
+    now: Tick,
+}
+
+impl VirtualClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Advance to `tick`. Moving backwards is a causality violation and
+    /// panics in debug builds; release builds clamp monotonically.
+    pub fn advance_to(&mut self, tick: Tick) {
+        debug_assert!(tick >= self.now, "virtual clock must be monotonic");
+        self.now = self.now.max(tick);
+    }
+}
+
+/// A deterministic discrete-event queue over virtual time.
+///
+/// Events are totally ordered by `(tick, seq)`: `seq` increments per
+/// schedule call, so two events at the same tick pop in schedule order.
+/// Popping an event advances the embedded [`VirtualClock`] to its tick.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: BTreeMap<(Tick, u64), E>,
+    seq: u64,
+    clock: VirtualClock,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty queue with the clock at tick 0.
+    pub fn new() -> Self {
+        Self {
+            queue: BTreeMap::new(),
+            seq: 0,
+            clock: VirtualClock::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedule `event` at an absolute `tick`. Scheduling into the past is
+    /// a causality violation (debug panic; release clamps to `now`).
+    pub fn schedule_at(&mut self, tick: Tick, event: E) {
+        debug_assert!(tick >= self.now(), "cannot schedule into the past");
+        let key = (tick.max(self.now()), self.seq);
+        self.seq += 1;
+        self.queue.insert(key, event);
+    }
+
+    /// Schedule `event` `delay` ticks from now.
+    pub fn schedule_after(&mut self, delay: Tick, event: E) {
+        self.schedule_at(self.now().saturating_add(delay), event);
+    }
+
+    /// Pop the earliest event (ties broken by schedule order) and advance
+    /// the clock to its tick.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        let ((tick, _), event) = self.queue.pop_first()?;
+        self.clock.advance_to(tick);
+        Some((tick, event))
+    }
+}
+
+/// A client report in transit: which client sent it, from which dispatch
+/// round/version, under which mask. Uplink bytes are accounted when the
+/// delivery *arrives* at the server, never at dispatch — a report the run
+/// outlives is never charged.
+pub struct Delivery {
+    /// Reporting client index.
+    pub client: usize,
+    /// Position of the client in its dispatch round's active set.
+    pub dispatch_pos: usize,
+    /// Round (sync) or server version (async) the report was computed
+    /// against.
+    pub dispatch_round: usize,
+    /// The client's trained return.
+    pub ret: ClientReturn,
+    /// The unit mask the server requested from this client.
+    pub mask: Vec<bool>,
+}
+
+/// A bounded buffer of deliveries the server aggregates from.
+///
+/// The sync facade seals it once per round; the async driver drains it as
+/// soon as `K` admissible reports have buffered (or earlier, when the
+/// event queue starves). Exceeding the capacity is a driver bug.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    capacity: usize,
+    items: Vec<T>,
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer reached capacity (the async driver's aggregation
+    /// trigger).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Buffer one item. The caller must drain before exceeding capacity.
+    pub fn push(&mut self, item: T) {
+        assert!(
+            self.items.len() < self.capacity,
+            "mailbox overflow: capacity {}",
+            self.capacity
+        );
+        self.items.push(item);
+    }
+
+    /// Take every buffered item, in arrival order.
+    pub fn drain(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+/// A fixed-size pool executing client tasks.
+///
+/// With one worker, tasks run inline on the caller's thread and the matmul
+/// kernels keep the full `FEDDA_THREADS` budget (the historical sequential
+/// path). With more, tasks are pulled from a shared index by scoped
+/// worker threads, each capped at one kernel thread via
+/// [`fedda_tensor::gemm::with_kernel_threads`] so the two parallelism
+/// layers never multiply — exactly the contract the per-client-thread code
+/// had before this pool existed.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f` over every item, returning results in item order.
+    ///
+    /// Tasks must be pure: results are placed by item index, so any number
+    /// of workers yields the identical output vector.
+    pub fn run_ordered<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let effective = self.workers.min(items.len());
+        if effective <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..effective {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                s.spawn(move |_| {
+                    fedda_tensor::gemm::with_kernel_threads(1, || loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        if tx.send((i, f(&items[i]))).is_err() {
+                            break;
+                        }
+                    })
+                });
+            }
+        })
+        // fedda-lint: allow(panic-path, reason = "re-raises a worker panic after the scope unwinds; there is no partial result to salvage")
+        .expect("worker pool scope failed");
+        drop(tx);
+        let mut out: Vec<Option<R>> = Vec::new();
+        out.resize_with(items.len(), || None);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            // fedda-lint: allow(panic-path, reason = "every index is sent exactly once by the workers above; an empty slot is pool-internal corruption")
+            .map(|o| o.expect("missing worker result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance_to(5);
+        assert_eq!(c.now(), 5);
+        c.advance_to(5);
+        assert_eq!(c.now(), 5);
+    }
+
+    #[test]
+    fn scheduler_pops_in_tick_then_schedule_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(2, "late");
+        s.schedule_at(1, "first-at-1");
+        s.schedule_at(1, "second-at-1");
+        s.schedule_after(0, "now");
+        assert_eq!(s.len(), 4);
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, "now"),
+                (1, "first-at-1"),
+                (1, "second-at-1"),
+                (2, "late")
+            ]
+        );
+        assert!(s.is_empty());
+        assert_eq!(s.now(), 2);
+    }
+
+    #[test]
+    fn popping_advances_the_clock() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(7, 1);
+        assert_eq!(s.now(), 0);
+        s.pop();
+        assert_eq!(s.now(), 7);
+        // Scheduling relative to the advanced clock.
+        s.schedule_after(3, 2);
+        assert_eq!(s.pop(), Some((10, 2)));
+    }
+
+    #[test]
+    fn mailbox_buffers_and_drains_in_order() {
+        let mut m: Mailbox<u32> = Mailbox::new(3);
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 3);
+        m.push(1);
+        m.push(2);
+        assert!(!m.is_full());
+        m.push(3);
+        assert!(m.is_full());
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.drain(), vec![1, 2, 3]);
+        assert!(m.is_empty());
+        m.push(4);
+        assert_eq!(m.drain(), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox overflow")]
+    fn mailbox_overflow_panics() {
+        let mut m: Mailbox<u32> = Mailbox::new(1);
+        m.push(1);
+        m.push(2);
+    }
+
+    #[test]
+    fn worker_pool_preserves_item_order_for_any_size() {
+        let items: Vec<u64> = (0..23).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 4, 64] {
+            let got = WorkerPool::new(workers).run_ordered(&items, |&x| x * x);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+        // Degenerate shapes.
+        let empty: Vec<u64> = Vec::new();
+        assert!(WorkerPool::new(4).run_ordered(&empty, |&x| x).is_empty());
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+}

@@ -73,6 +73,14 @@ pub struct FlConfig {
     pub seed: u64,
     /// Run client updates on crossbeam threads.
     pub parallel: bool,
+    /// Worker-pool size for parallel client updates; `None` keeps the
+    /// historical one-thread-per-dispatched-client shape, a bound (e.g.
+    /// `Some(8)`) caps the pool for large federations. Ignored when
+    /// `parallel` is `false`. Results are worker-count independent:
+    /// client training is a pure function of (client seed, round,
+    /// broadcast parameters) and the pool returns results in dispatch
+    /// order.
+    pub workers: Option<usize>,
     /// Optional clip-and-noise on returned updates.
     pub privacy: Option<PrivacyConfig>,
     /// Aggregation weighting (Eq. 5's `p_i`).
@@ -93,6 +101,7 @@ impl Default for FlConfig {
             eval_every: 1,
             seed: 0,
             parallel: true,
+            workers: None,
             privacy: None,
             weighting: AggWeighting::Uniform,
             faults: None,
@@ -341,18 +350,21 @@ impl FlSystem {
     }
 
     /// Run local updates on the given clients, starting from the current
-    /// global model. Clients run in parallel when configured.
+    /// global model. Clients run on a [`WorkerPool`] when configured
+    /// (`FlConfig::parallel` / `FlConfig::workers`).
     ///
     /// # Thread nesting
     ///
-    /// Two layers can spawn threads here: this method's per-client workers,
+    /// Two layers can spawn threads here: the pool's per-client workers,
     /// and the blocked matmul kernels (`fedda_tensor::gemm`) inside each
     /// client's training loop. Letting both fan out would oversubscribe the
-    /// machine `clients × kernel-threads` ways, so when clients run in
-    /// parallel each worker caps its kernel threads at 1 via
+    /// machine `clients × kernel-threads` ways, so a multi-worker pool caps
+    /// each worker's kernel threads at 1 via
     /// [`fedda_tensor::gemm::with_kernel_threads`] — parallelism comes from
-    /// clients, matmuls stay single-threaded. In the sequential branch the
-    /// kernels keep the full `FEDDA_THREADS` budget instead.
+    /// clients, matmuls stay single-threaded. A single-worker pool runs
+    /// inline and the kernels keep the full `FEDDA_THREADS` budget instead.
+    ///
+    /// [`WorkerPool`]: crate::runtime::WorkerPool
     pub fn run_local_round(&self, active: &[usize], round: usize) -> Vec<ClientReturn> {
         let work = |&i: &usize| -> ClientReturn {
             let client = &self.clients[i];
@@ -381,30 +393,12 @@ impl FlSystem {
                 unit_delta,
             }
         };
-        if self.cfg.parallel && active.len() > 1 {
-            let mut out: Vec<Option<ClientReturn>> = Vec::new();
-            out.resize_with(active.len(), || None);
-            crossbeam::thread::scope(|s| {
-                let mut handles = Vec::with_capacity(active.len());
-                for &i in active {
-                    handles.push(
-                        s.spawn(move |_| fedda_tensor::gemm::with_kernel_threads(1, || work(&i))),
-                    );
-                }
-                for (slot, h) in out.iter_mut().zip(handles) {
-                    // fedda-lint: allow(panic-path, reason = "re-raises a client-thread panic on the caller; swallowing it would aggregate a half-trained round")
-                    *slot = Some(h.join().expect("client thread panicked"));
-                }
-            })
-            // fedda-lint: allow(panic-path, reason = "re-raises a worker panic after the scope unwinds; there is no partial result to salvage")
-            .expect("crossbeam scope failed");
-            out.into_iter()
-                // fedda-lint: allow(panic-path, reason = "every slot is filled by the join loop above; an empty slot is scope-internal corruption")
-                .map(|o| o.expect("missing client return"))
-                .collect()
+        let workers = if self.cfg.parallel {
+            self.cfg.workers.unwrap_or(active.len())
         } else {
-            active.iter().map(work).collect()
-        }
+            1
+        };
+        crate::runtime::WorkerPool::new(workers).run_ordered(active, work)
     }
 
     /// Masked federated averaging (Eq. 6): for every unit `k`,
@@ -682,6 +676,7 @@ pub(crate) mod tests {
             eval_every: 1,
             seed,
             parallel: true,
+            workers: None,
             privacy: None,
             weighting: AggWeighting::Uniform,
             faults: None,

@@ -1,0 +1,183 @@
+//! End-to-end determinism of the buffered-asynchronous runtime: a run must
+//! be bit-identical across repeated executions, kernel-thread budgets, and
+//! worker-pool sizes — the async mirror of `determinism_e2e.rs`.
+//!
+//! The virtual clock and the `(tick, seq)`-ordered event queue make arrival
+//! order a pure function of the seed, never of host scheduling; the worker
+//! pool returns results in submission order for any pool size. Varying
+//! `FlConfig::workers` and the kernel-thread budget therefore must not move
+//! a single bit of the curve, the comm ledger, the activation trace, or the
+//! final parameters.
+
+use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
+use fedda_fl::{
+    AsyncConfig, AsyncDriver, Corruption, FaultConfig, FedAvg, FedDa, FlConfig, FlSystem,
+    RunResult, StalenessPolicy,
+};
+use fedda_hetgraph::split::split_edges;
+use fedda_hgn::{HgnConfig, TrainConfig};
+use fedda_tensor::gemm::with_kernel_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 4;
+const ROUNDS: usize = 3;
+const SEED: u64 = 1234;
+
+fn build_system(workers: Option<usize>, faults: Option<FaultConfig>) -> FlSystem {
+    let g = dblp_like(&PresetOptions {
+        scale: 0.0012,
+        seed: SEED,
+        ..Default::default()
+    })
+    .graph;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let split = split_edges(&g, 0.15, &mut rng);
+    let pcfg = PartitionConfig::paper_defaults(M, g.schema().num_edge_types(), SEED);
+    let clients = partition_non_iid(&split.train, &pcfg);
+    let cfg = FlConfig {
+        rounds: ROUNDS,
+        model: HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 2,
+            edge_emb_dim: 4,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        eval_negatives: 3,
+        seed: SEED,
+        parallel: true,
+        workers,
+        faults,
+        ..Default::default()
+    };
+    FlSystem::new(&split.train, &split.test, clients, cfg)
+}
+
+/// Stragglers at a rate that forces multi-tick arrivals and staleness
+/// discounting through the async buffer.
+fn straggly_faults() -> FaultConfig {
+    FaultConfig {
+        straggler: 0.3,
+        max_staleness: 2,
+        corruption: 0.1,
+        corruption_kind: Corruption::NaN,
+        staleness: StalenessPolicy::Discount { gamma: 0.5 },
+        ..Default::default()
+    }
+}
+
+/// Everything observable about a run, in bit-exact form.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    curve: Vec<(usize, u64, u64)>,
+    comm: Vec<fedda_fl::RoundComm>,
+    activation: Vec<fedda_fl::ActivationSnapshot>,
+    faults: Vec<fedda_fl::FaultObserved>,
+    final_params: Vec<u32>,
+}
+
+fn fingerprint(result: &RunResult, system: &FlSystem) -> Fingerprint {
+    Fingerprint {
+        curve: result
+            .curve
+            .iter()
+            .map(|e| (e.round, e.roc_auc.to_bits(), e.mrr.to_bits()))
+            .collect(),
+        comm: result.comm.rounds().to_vec(),
+        activation: result.activation_trace.clone(),
+        faults: result.faults.clone(),
+        final_params: system
+            .global
+            .flatten()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect(),
+    }
+}
+
+fn run_async(
+    which: usize,
+    acfg: AsyncConfig,
+    faults: Option<FaultConfig>,
+    workers: Option<usize>,
+    kernel_threads: usize,
+) -> Fingerprint {
+    with_kernel_threads(kernel_threads, || {
+        let mut sys = build_system(workers, faults);
+        let result = match which {
+            0 => AsyncDriver::new(acfg).run(&mut FedAvg::vanilla(), &mut sys),
+            _ => AsyncDriver::new(acfg).run(&mut FedDa::explore().protocol(), &mut sys),
+        }
+        .expect("async determinism runs use valid configurations");
+        fingerprint(&result, &sys)
+    })
+}
+
+fn assert_invariant_under_execution_strategy(
+    which: usize,
+    faults: Option<FaultConfig>,
+    name: &str,
+) {
+    let acfg = AsyncConfig { k: 2, gamma: 0.9 };
+    let reference = run_async(which, acfg, faults.clone(), Some(1), 1);
+    assert_eq!(
+        reference.curve.len(),
+        ROUNDS,
+        "{name}: expected one eval per version"
+    );
+    for (workers, threads) in [(Some(4), 1), (Some(1), 4), (Some(4), 4), (None, 4)] {
+        let other = run_async(which, acfg, faults.clone(), workers, threads);
+        assert_eq!(
+            reference, other,
+            "{name}: run diverged under workers={workers:?}, kernel_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn async_fedavg_is_bit_identical_across_threads_and_workers() {
+    assert_invariant_under_execution_strategy(0, None, "async FedAvg");
+}
+
+#[test]
+fn async_fedavg_with_stragglers_is_bit_identical_across_threads_and_workers() {
+    assert_invariant_under_execution_strategy(
+        0,
+        Some(straggly_faults()),
+        "async FedAvg + stragglers",
+    );
+}
+
+#[test]
+fn async_fedda_explore_is_bit_identical_across_threads_and_workers() {
+    assert_invariant_under_execution_strategy(1, None, "async FedDA-Explore");
+}
+
+#[test]
+fn sync_facade_is_bit_identical_across_worker_pool_sizes() {
+    // The sync driver rides the same worker pool: pool size must not move
+    // a bit there either (its cross-thread determinism is pinned by
+    // `determinism_e2e.rs`; this adds the workers axis).
+    let reference = with_kernel_threads(2, || {
+        let mut sys = build_system(Some(1), None);
+        let result = FedDa::restart().run(&mut sys);
+        fingerprint(&result, &sys)
+    });
+    for workers in [Some(2), Some(4), None] {
+        let other = with_kernel_threads(2, || {
+            let mut sys = build_system(workers, None);
+            let result = FedDa::restart().run(&mut sys);
+            fingerprint(&result, &sys)
+        });
+        assert_eq!(
+            reference, other,
+            "sync run diverged under workers={workers:?}"
+        );
+    }
+}

@@ -21,8 +21,9 @@
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
 use fedda_fl::{
-    Corruption, FaultConfig, FaultEffect, FaultKind, FaultObserved, FaultPlan, FedAvg, FedDa,
-    FlConfig, FlSystem, MemorySink, RoundDriver, RunResult, StalenessPolicy,
+    AsyncConfig, AsyncDriver, Corruption, FaultConfig, FaultEffect, FaultKind, FaultObserved,
+    FaultPlan, FedAvg, FedDa, FlConfig, FlProtocol, FlSystem, MemorySink, RoundDriver, RunResult,
+    ScriptedFault, StalenessPolicy,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -212,10 +213,11 @@ fn check_chaos_invariants(
     assert_eq!(streamed, result.faults, "{label}: events vs result faults");
 
     // Events mirror the comm log (rounds with no active clients keep the
-    // comm log empty, as for the Global baseline).
+    // comm log empty, as for the Global baseline — unless a stale straggler
+    // arrival moved bytes, which stays on the ledger).
     let mut comm_rounds = result.comm.rounds().iter();
     for (i, event) in sink.events.iter().enumerate() {
-        if event.active_clients.is_empty() {
+        if event.active_clients.is_empty() && event.comm.uplink_units == 0 {
             assert_eq!(event.comm.uplink_units, 0, "{label}: round {i}");
         } else {
             let rc = comm_rounds.next().expect("comm log entry");
@@ -444,6 +446,160 @@ fn check_pin(result: &RunResult, pin: &GoldenPin, label: &str) {
         "{label}: uplink"
     );
     assert!(result.faults.is_empty(), "{label}: no faults scheduled");
+}
+
+/// Selects every client in round 0 and nobody afterwards — the minimal
+/// protocol for pinning what the ledger does with a stale report that
+/// arrives in a round with no active clients.
+struct FirstRoundOnly;
+
+impl FlProtocol for FirstRoundOnly {
+    fn name(&self) -> String {
+        "FirstRoundOnly".into()
+    }
+
+    fn select_clients(&mut self, system: &FlSystem, round: usize, _rng: &mut StdRng) -> Vec<usize> {
+        if round == 0 {
+            (0..system.num_clients()).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn build_masks(
+        &mut self,
+        system: &FlSystem,
+        active: &[usize],
+        _round: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<Vec<bool>> {
+        vec![vec![true; system.num_units()]; active.len()]
+    }
+}
+
+#[test]
+fn sync_stale_arrival_in_an_inactive_round_stays_on_the_ledger() {
+    // The accounting fix this pins: a straggler report landing in a round
+    // where nobody was selected used to vanish from the comm log entirely
+    // (the round was keyed out on `active.is_empty()`), understating total
+    // uplink. Bytes that arrive must stay on the ledger.
+    let fc = FaultConfig {
+        staleness: StalenessPolicy::Discount { gamma: 0.5 },
+        scripted: vec![ScriptedFault {
+            round: 0,
+            client: 0,
+            kind: FaultKind::Straggler { delay: 1 },
+        }],
+        ..Default::default()
+    };
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+    let mut sink = MemorySink::new();
+    let result = RoundDriver::with_sink(&mut sink)
+        .run(&mut FirstRoundOnly, &mut sys)
+        .unwrap();
+    let n = sys.num_units();
+    // Round 0: all M dispatched, client 0 held. Round 1: nobody active but
+    // the held report arrives. Rounds 2+: silent, off the ledger.
+    let logged = result.comm.rounds();
+    assert_eq!(logged.len(), 2, "dispatch round + stale-arrival round");
+    assert_eq!(logged[0].active_clients, M);
+    assert_eq!(logged[0].uplink_units, (M - 1) * n);
+    assert_eq!(logged[0].downlink_units, M * n);
+    assert_eq!(logged[1].active_clients, 0);
+    assert_eq!(logged[1].downlink_units, 0);
+    assert_eq!(
+        logged[1].uplink_units, n,
+        "arrived stale bytes must be charged"
+    );
+    assert_eq!(result.comm.total_uplink_units(), M * n);
+    // The event stream mirrors the ledger entry for the inactive round.
+    assert!(sink.events[1].active_clients.is_empty());
+    assert_eq!(&sink.events[1].comm, &logged[1]);
+    // And the observation stream records held-then-applied.
+    assert_eq!(
+        result.faults,
+        vec![
+            FaultObserved {
+                round: 0,
+                client: 0,
+                effect: FaultEffect::StragglerHeld { arrival: Some(1) },
+            },
+            FaultObserved {
+                round: 1,
+                client: 0,
+                effect: FaultEffect::StaleApplied {
+                    staleness: 1,
+                    weight: 0.5,
+                },
+            },
+        ]
+    );
+}
+
+#[test]
+fn async_full_dropout_charges_downlink_but_never_uplink() {
+    // Buffered-async runtime, every report dropped: each version's wave
+    // still costs a broadcast, nothing ever arrives, and the starved queue
+    // flushes an empty buffer so the run completes all versions.
+    let fc = FaultConfig::dropout_only(1.0);
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+    let result = AsyncDriver::new(AsyncConfig::default())
+        .run(&mut FedAvg::vanilla(), &mut sys)
+        .unwrap();
+    let n = sys.num_units();
+    assert_eq!(result.curve.len(), ROUNDS, "every version still evaluates");
+    assert_eq!(result.comm.rounds().len(), ROUNDS);
+    for rc in result.comm.rounds() {
+        assert_eq!(rc.active_clients, M);
+        assert_eq!(rc.uplink_units, 0, "no report ever arrives");
+        assert_eq!(rc.downlink_units, M * n);
+    }
+    assert_eq!(result.comm.total_uplink_units(), 0);
+    assert_eq!(result.comm.total_downlink_units(), ROUNDS * M * n);
+    assert_eq!(result.faults.len(), ROUNDS * M);
+    assert!(result
+        .faults
+        .iter()
+        .all(|f| matches!(f.effect, FaultEffect::Dropout)));
+}
+
+#[test]
+fn async_report_outliving_the_run_is_never_charged() {
+    // Client 0's scripted straggler report would land ~1000 ticks after the
+    // run's final aggregation: its uplink bytes must never be charged, and
+    // the async concurrency rule keeps the client out of every later wave.
+    let fc = FaultConfig {
+        scripted: vec![ScriptedFault {
+            round: 0,
+            client: 0,
+            kind: FaultKind::Straggler { delay: 1000 },
+        }],
+        ..Default::default()
+    };
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+    let acfg = AsyncConfig {
+        k: M - 1,
+        gamma: 1.0,
+    };
+    let result = AsyncDriver::new(acfg)
+        .run(&mut FedAvg::vanilla(), &mut sys)
+        .unwrap();
+    let n = sys.num_units();
+    let logged = result.comm.rounds();
+    assert_eq!(logged.len(), ROUNDS);
+    assert_eq!(logged[0].active_clients, M);
+    assert_eq!(logged[0].downlink_units, M * n);
+    assert_eq!(logged[0].uplink_units, (M - 1) * n);
+    for (v, rc) in logged.iter().enumerate().skip(1) {
+        assert_eq!(rc.active_clients, M - 1, "v{v}: client 0 stays in flight");
+        assert_eq!(rc.uplink_units, (M - 1) * n, "v{v}");
+        assert_eq!(rc.downlink_units, (M - 1) * n, "v{v}");
+    }
+    assert_eq!(result.comm.total_uplink_units(), ROUNDS * (M - 1) * n);
+    assert_eq!(
+        result.comm.total_downlink_units(),
+        (M + (ROUNDS - 1) * (M - 1)) * n
+    );
 }
 
 #[test]

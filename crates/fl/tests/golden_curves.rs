@@ -12,7 +12,7 @@
 //! and paste the printed literals back into this file.
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
-use fedda_fl::{baselines, FedAvg, FedDa, FlConfig, FlSystem, RunResult};
+use fedda_fl::{baselines, AsyncConfig, AsyncDriver, FedAvg, FedDa, FlConfig, FlSystem, RunResult};
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
 use rand::rngs::StdRng;
@@ -216,6 +216,67 @@ fn golden_fedda_explore() {
                 0.5973270176615267,
             ],
             uplink_units: 392,
+        },
+    );
+}
+
+#[test]
+fn golden_async_fedavg_vanilla() {
+    // The buffered-asynchronous runtime gets its own pins: K = 2 with
+    // γ = 0.9 on the same seeded federation. These seal the async event
+    // order, staleness weighting and arrival accounting bit-for-bit.
+    let mut sys = golden_system();
+    let result = AsyncDriver::new(AsyncConfig { k: 2, gamma: 0.9 })
+        .run(&mut FedAvg::vanilla(), &mut sys)
+        .expect("golden async run");
+    check(
+        &result,
+        &Golden {
+            name: "async FedAvg (K=2, gamma=0.9)",
+            auc: &[
+                0.5363554730836768,
+                0.5405683809429346,
+                0.5435644153129523,
+                0.5537101554291843,
+                0.5769569736494082,
+            ],
+            mrr: &[
+                0.5577366979655723,
+                0.555626816454283,
+                0.5555248155600281,
+                0.5638944779789864,
+                0.5853635703107553,
+            ],
+            uplink_units: 250,
+        },
+    );
+}
+
+#[test]
+fn golden_async_fedda_explore() {
+    let mut sys = golden_system();
+    let result = AsyncDriver::new(AsyncConfig { k: 2, gamma: 0.9 })
+        .run(&mut FedDa::explore().protocol(), &mut sys)
+        .expect("golden async run");
+    check(
+        &result,
+        &Golden {
+            name: "async FedDA-Explore (K=2, gamma=0.9)",
+            auc: &[
+                0.5363554730836768,
+                0.5405683809429346,
+                0.5324176245527416,
+                0.5680113463120927,
+                0.5456701230465737,
+            ],
+            mrr: &[
+                0.5577366979655723,
+                0.555626816454283,
+                0.5440601945003364,
+                0.5758062262463689,
+                0.5588573105298466,
+            ],
+            uplink_units: 239,
         },
     );
 }

@@ -32,6 +32,8 @@ fn quick(dataset: Dataset, seed: u64) -> ExperimentConfig {
         eval_every: 1,
         seed,
         parallel: true,
+        workers: None,
+        runtime: Default::default(),
         iid: false,
         weighting: Default::default(),
         privacy: None,

@@ -29,6 +29,8 @@ fn cfg(dataset: Dataset, clients: usize, rounds: usize, seed: u64) -> Experiment
         eval_every: 1,
         seed,
         parallel: true,
+        workers: None,
+        runtime: Default::default(),
         iid: false,
         weighting: Default::default(),
         privacy: None,

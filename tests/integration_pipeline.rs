@@ -50,6 +50,7 @@ fn full_pipeline_runs_and_improves_over_initialization() {
         eval_every: 1,
         seed: 4,
         parallel: true,
+        workers: None,
         privacy: None,
         weighting: AggWeighting::Uniform,
         faults: None,
@@ -92,6 +93,7 @@ fn iid_and_non_iid_partitions_flow_through_the_system() {
             eval_every: 1,
             seed: 8,
             parallel: false,
+            workers: None,
             privacy: None,
             weighting: AggWeighting::Uniform,
             faults: None,
@@ -122,6 +124,7 @@ fn global_model_parameters_stay_finite_across_rounds() {
         eval_every: 1,
         seed: 12,
         parallel: true,
+        workers: None,
         privacy: None,
         weighting: AggWeighting::Uniform,
         faults: None,
