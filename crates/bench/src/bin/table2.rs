@@ -1,14 +1,19 @@
 //! Table 2 — link prediction results (ROC-AUC and MRR, mean ± std over
-//! runs) for Global / Local / FedAvg / FedDA-Restart / FedDA-Explore on
-//! DBLP-like (M ∈ {4, 8, 16}) and Amazon-like (M ∈ {8, 16}) federations.
+//! runs) for the full protocol zoo — Global / Local / FedAvg / FedProx /
+//! FedDyn / FedAdam / FedDA-Restart / FedDA-Explore — on DBLP-like
+//! (M ∈ {4, 8, 16}) and Amazon-like (M ∈ {8, 16}) federations, situating
+//! FedDA against the standard non-IID baselines.
 //!
 //! Usage: `cargo run -p fedda-bench --release --bin table2 [--quick|--paper]`
-//! Optional: `--dataset dblp|amazon` to run one dataset only.
+//! Optional: `--dataset dblp|amazon` to run one dataset only. The
+//! FedProx/FedDyn/FedAdam hyper-parameter knobs (`--mu`, `--alpha`,
+//! `--server-lr`, `--beta1`, `--beta2`, `--adam-eps`) apply here too.
 
 use fedda::experiment::{Dataset, Experiment, Framework};
 use fedda::fl::{FedAvg, FedDa};
 use fedda::report;
 use fedda::table::TextTable;
+use fedda_bench::parse_framework;
 use fedda_bench::{base_config, maybe_write_json, pm, Options};
 use serde_json::json;
 
@@ -48,6 +53,11 @@ fn main() {
                 Framework::Global,
                 Framework::Local,
                 Framework::FedAvg(FedAvg::vanilla()),
+                // The hyper-parameters of the three ports come from the
+                // shared knob flags (protocol defaults when omitted).
+                parse_framework("fedprox", &opts).expect("known framework"),
+                parse_framework("feddyn", &opts).expect("known framework"),
+                parse_framework("fedadam", &opts).expect("known framework"),
                 Framework::FedDa(FedDa::restart()),
                 Framework::FedDa(FedDa::explore()),
             ];

@@ -30,8 +30,8 @@
 //! * `--paper`         — paper-like settings (5 runs, 40 rounds)
 //! * `--events`        — stream per-round driver events to stderr
 
-use fedda::experiment::{Dataset, ExperimentConfig};
-use fedda::fl::{AsyncConfig, RuntimeMode};
+use fedda::experiment::{Dataset, ExperimentConfig, Framework};
+use fedda::fl::{AsyncConfig, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlProtocol, RuntimeMode};
 use fedda::hgn::{HgnConfig, TrainConfig};
 use std::collections::HashMap;
 use std::path::Path;
@@ -58,6 +58,14 @@ pub const KNOWN_FLAGS: &[&str] = &[
     "async-k",
     "async-gamma",
     "workers",
+    "framework",
+    "mu",
+    "alpha",
+    "server-lr",
+    "beta1",
+    "beta2",
+    "adam-eps",
+    "client-fraction",
     "quick",
     "paper",
     "events",
@@ -237,6 +245,60 @@ pub fn runtime_config(opts: &Options) -> RuntimeMode {
         }
     }
     mode
+}
+
+/// Resolve a framework name plus its hyper-parameter flags into a
+/// [`Framework`] — the one protocol parser shared by the CLI `train`
+/// subcommand and the bench binaries.
+///
+/// Knobs (each optional, falling back to the protocol's default):
+/// `--client-fraction` (fedavg/fedprox/feddyn/fedadam), `--mu` (fedprox),
+/// `--alpha` (feddyn), `--server-lr`/`--beta1`/`--beta2`/`--adam-eps`
+/// (fedadam). Invalid hyper-parameters are rejected here with the
+/// protocol's own `validate()` message, so the CLI and bench binaries
+/// fail cleanly before any training starts (the driver re-validates
+/// before round 0 regardless).
+pub fn parse_framework(name: &str, opts: &Options) -> Result<Framework, String> {
+    let fraction = opts.get::<f64>("client-fraction");
+    let fw = match name {
+        "global" => Framework::Global,
+        "local" => Framework::Local,
+        "fedavg" => Framework::FedAvg(FedAvg {
+            client_fraction: fraction.unwrap_or(1.0),
+            param_fraction: 1.0,
+        }),
+        "fedprox" => Framework::FedProx(FedProx {
+            mu: opts.get("mu").unwrap_or(0.01),
+            client_fraction: fraction.unwrap_or(1.0),
+        }),
+        "feddyn" => Framework::FedDyn(FedDyn {
+            alpha: opts.get("alpha").unwrap_or(0.01),
+            client_fraction: fraction.unwrap_or(1.0),
+        }),
+        "fedadam" => Framework::FedAdam(FedAdam {
+            server_lr: opts.get("server-lr").unwrap_or(0.01),
+            beta1: opts.get("beta1").unwrap_or(0.9),
+            beta2: opts.get("beta2").unwrap_or(0.99),
+            epsilon: opts.get("adam-eps").unwrap_or(1e-3),
+            client_fraction: fraction.unwrap_or(1.0),
+        }),
+        "fedda-restart" => Framework::FedDa(FedDa::restart()),
+        "fedda-explore" => Framework::FedDa(FedDa::explore()),
+        other => {
+            return Err(format!(
+                "unknown framework '{other}' (expected global|local|fedavg|fedprox|feddyn|fedadam|fedda-restart|fedda-explore)"
+            ))
+        }
+    };
+    match &fw {
+        Framework::FedAvg(f) => f.validate(),
+        Framework::FedProx(f) => f.validate(),
+        Framework::FedDyn(f) => f.validate(),
+        Framework::FedAdam(f) => f.validate(),
+        Framework::Global | Framework::Local | Framework::FedDa(_) => Ok(()),
+    }
+    .map_err(|e| format!("invalid --framework {name} configuration: {e}"))?;
+    Ok(fw)
 }
 
 /// Build a baseline [`ExperimentConfig`] for a dataset from parsed options.
@@ -520,5 +582,90 @@ mod tests {
     #[should_panic(expected = "unexpected argument")]
     fn rejects_positional_args() {
         let _ = Options::from_args(["oops".to_string()]);
+    }
+
+    #[test]
+    fn parse_framework_resolves_the_whole_zoo() {
+        let o = Options::default();
+        for (name, display) in [
+            ("global", "Global"),
+            ("local", "Local"),
+            ("fedavg", "FedAvg"),
+            ("fedprox", "FedProx(mu=0.01)"),
+            ("feddyn", "FedDyn(alpha=0.01)"),
+            ("fedadam", "FedAdam(lr=0.01)"),
+            ("fedda-restart", "FedDA 1 (Restart)"),
+            ("fedda-explore", "FedDA 2 (Explore)"),
+        ] {
+            let fw = parse_framework(name, &o).expect(name);
+            assert_eq!(fw.name(), display);
+        }
+        let err = parse_framework("fedsgd", &o).unwrap_err();
+        assert!(err.contains("unknown framework 'fedsgd'"), "{err}");
+        assert!(err.contains("fedprox|feddyn|fedadam"), "{err}");
+    }
+
+    #[test]
+    fn protocol_knobs_flow_into_frameworks() {
+        let o = Options::from_args(args(&["--mu", "0.5"]));
+        match parse_framework("fedprox", &o).unwrap() {
+            Framework::FedProx(p) => assert_eq!(p.mu, 0.5),
+            other => panic!("expected FedProx, got {other:?}"),
+        }
+        let o = Options::from_args(args(&["--alpha", "0.1", "--client-fraction", "0.5"]));
+        match parse_framework("feddyn", &o).unwrap() {
+            Framework::FedDyn(p) => {
+                assert_eq!(p.alpha, 0.1);
+                assert_eq!(p.client_fraction, 0.5);
+            }
+            other => panic!("expected FedDyn, got {other:?}"),
+        }
+        let o = Options::from_args(args(&[
+            "--server-lr",
+            "0.1",
+            "--beta1",
+            "0.8",
+            "--beta2",
+            "0.95",
+            "--adam-eps",
+            "1e-6",
+        ]));
+        match parse_framework("fedadam", &o).unwrap() {
+            Framework::FedAdam(p) => {
+                assert_eq!(p.server_lr, 0.1);
+                assert_eq!(p.beta1, 0.8);
+                assert_eq!(p.beta2, 0.95);
+                assert_eq!(p.epsilon, 1e-6);
+            }
+            other => panic!("expected FedAdam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_protocol_knobs_are_rejected_at_parse_time() {
+        let o = Options::from_args(args(&["--mu", "-1"]));
+        assert_eq!(
+            parse_framework("fedprox", &o).unwrap_err(),
+            "invalid --framework fedprox configuration: \
+             mu must be finite and non-negative, got -1"
+        );
+        let o = Options::from_args(args(&["--alpha", "0"]));
+        assert_eq!(
+            parse_framework("feddyn", &o).unwrap_err(),
+            "invalid --framework feddyn configuration: \
+             alpha must be finite and positive, got 0"
+        );
+        let o = Options::from_args(args(&["--beta1", "1"]));
+        assert_eq!(
+            parse_framework("fedadam", &o).unwrap_err(),
+            "invalid --framework fedadam configuration: \
+             beta1 must be in [0,1), got 1"
+        );
+        let o = Options::from_args(args(&["--client-fraction", "0"]));
+        assert_eq!(
+            parse_framework("fedavg", &o).unwrap_err(),
+            "invalid --framework fedavg configuration: \
+             client_fraction must be in (0,1], got 0"
+        );
     }
 }

@@ -14,12 +14,12 @@ use fedda::data::{
     amazon_like, dblp_like, non_iidness, partition_iid, partition_non_iid, DatasetStats,
     PartitionConfig, PresetOptions,
 };
-use fedda::experiment::{Dataset, Experiment, Framework};
+use fedda::experiment::{Dataset, Experiment};
 use fedda::fl::analysis::{explore_ratio_bound, restart_period, restart_ratio, EfficiencyInputs};
-use fedda::fl::{FedAvg, FedDa, StderrSink};
+use fedda::fl::StderrSink;
 use fedda::hetgraph::io;
 use fedda::hetgraph::split::split_edges;
-use fedda_bench::{base_config, Options};
+use fedda_bench::{base_config, parse_framework, Options};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -41,9 +41,13 @@ SUBCOMMANDS:
                   [--mode iid|biased]  [--seed <u64>]  [--test-fraction <f64>]
     train       run a federated training experiment and print the summary
                   --dataset amazon|dblp  --framework global|local|fedavg|
-                  fedda-restart|fedda-explore  [--clients <n>]  [--rounds <n>]
+                  fedprox|feddyn|fedadam|fedda-restart|fedda-explore
+                  [--clients <n>]  [--rounds <n>]
                   [--runs <n>]  [--scale <f64>]  [--seed <u64>]
                   [--eval-every <n>]  [--events]
+                  [--mu <f64>]  [--alpha <f64>]  [--client-fraction <f64>]
+                  [--server-lr <f64>]  [--beta1 <f64>]  [--beta2 <f64>]
+                  [--adam-eps <f64>]
                   [--runtime sync|async]  [--async-k <n>]
                   [--async-gamma <f64>]  [--workers <n>]
                   [--faults drop=<f64>,straggle=<f64>,delay=<n>,
@@ -169,18 +173,7 @@ fn cmd_partition(opts: &Options) -> Result<(), String> {
 
 fn cmd_train(opts: &Options) -> Result<(), String> {
     let dataset = parse_dataset(opts)?;
-    let framework = match opts.get_str("framework").unwrap_or("fedda-explore") {
-        "global" => Framework::Global,
-        "local" => Framework::Local,
-        "fedavg" => Framework::FedAvg(FedAvg::vanilla()),
-        "fedda-restart" => Framework::FedDa(FedDa::restart()),
-        "fedda-explore" => Framework::FedDa(FedDa::explore()),
-        other => {
-            return Err(format!(
-                "unknown framework '{other}' (expected global|local|fedavg|fedda-restart|fedda-explore)"
-            ))
-        }
-    };
+    let framework = parse_framework(opts.get_str("framework").unwrap_or("fedda-explore"), opts)?;
     let cfg = base_config(dataset, opts);
     println!(
         "training {} on {} (M={}, {} runs x {} rounds, scale {})",

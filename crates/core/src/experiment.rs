@@ -6,8 +6,9 @@ use fedda_data::{
     PresetOptions,
 };
 use fedda_fl::{
-    baselines, AggWeighting, AsyncDriver, EventSink, FaultConfig, FedAvg, FedDa, FlConfig,
-    FlProtocol, FlSystem, GlobalProtocol, PrivacyConfig, RoundDriver, RuntimeMode,
+    baselines, AggWeighting, AsyncDriver, EventSink, FaultConfig, FedAdam, FedAvg, FedDa, FedDyn,
+    FedProx, FlConfig, FlProtocol, FlSystem, GlobalProtocol, PrivacyConfig, RoundDriver,
+    RuntimeMode,
 };
 use fedda_hetgraph::split::{split_edges, EdgeSplit};
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -126,6 +127,12 @@ pub enum Framework {
     Local,
     /// FedAvg, optionally with random client/parameter fractions.
     FedAvg(FedAvg),
+    /// FedProx: FedAvg with a μ-proximal term on the local objective.
+    FedProx(FedProx),
+    /// FedDyn: dynamic regularization with the server `h` correction.
+    FedDyn(FedDyn),
+    /// FedAdam: server-side adaptive optimisation on the pseudo-gradient.
+    FedAdam(FedAdam),
     /// FedDA with a concrete strategy configuration.
     FedDa(FedDa),
 }
@@ -149,6 +156,9 @@ impl Framework {
             Framework::Global => Some(Box::new(GlobalProtocol::new())),
             Framework::Local => None,
             Framework::FedAvg(f) => Some(Box::new(f.clone())),
+            Framework::FedProx(f) => Some(Box::new(f.clone())),
+            Framework::FedDyn(f) => Some(Box::new(f.protocol())),
+            Framework::FedAdam(f) => Some(Box::new(f.protocol())),
             Framework::FedDa(f) => Some(Box::new(f.protocol())),
         }
     }

@@ -288,7 +288,13 @@ fn dispatch_wave(
         .filter(|&c| plan.as_ref().and_then(|p| p.fault_at(version, c)) != Some(FaultKind::Dropout))
         .collect();
     let broadcast = plan.as_ref().map(|_| system.global.clone());
-    let mut returns = system.run_local_round(&reporting, version).into_iter();
+    let penalties: Vec<_> = reporting
+        .iter()
+        .map(|&c| protocol.local_regularizer(system, c, version))
+        .collect();
+    let mut returns = system
+        .run_local_round_with(&reporting, version, &penalties)
+        .into_iter();
     for (pos, &client) in wave.iter().enumerate() {
         let fault = plan.as_ref().and_then(|p| p.fault_at(version, client));
         if fault == Some(FaultKind::Dropout) {

@@ -183,7 +183,13 @@ fn dispatch_round(
         .filter(|&c| plan.as_ref().and_then(|p| p.fault_at(round, c)) != Some(FaultKind::Dropout))
         .collect();
     let broadcast = plan.as_ref().map(|_| system.global.clone());
-    let mut returns = system.run_local_round(&reporting, round).into_iter();
+    let penalties: Vec<_> = reporting
+        .iter()
+        .map(|&c| protocol.local_regularizer(system, c, round))
+        .collect();
+    let mut returns = system
+        .run_local_round_with(&reporting, round, &penalties)
+        .into_iter();
 
     let mut slots: Vec<Option<FaultObserved>> = Vec::new();
     slots.resize_with(active.len(), || None);

@@ -13,6 +13,12 @@
 //!   (Algorithm 1), with the `Restart` (Alg. 2) and `Explore` (Alg. 3)
 //!   reactivation strategies, the occupancy threshold `α`, and both mask
 //!   update rules (§5.3 prose vs. literal Eq. 7);
+//! * the protocol zoo — [`FedProx`] (μ-proximal local objective),
+//!   [`FedDyn`] (dynamic regularization with the server `h` correction)
+//!   and [`FedAdam`] (FedOpt's server-side adaptive optimiser), ported
+//!   onto the same engine through the
+//!   [`local_regularizer`](FlProtocol::local_regularizer) client-objective
+//!   hook;
 //! * [`baselines`] — centralised `Global` and isolated `Local` training;
 //! * [`analysis`] — the closed-form efficiency model of §5.4.3
 //!   (Eqs. 8–11);
@@ -43,6 +49,9 @@ mod events;
 pub mod faults;
 mod fedavg;
 mod fedda;
+pub mod feddyn;
+pub mod fedopt;
+pub mod fedprox;
 mod protocol;
 pub mod runtime;
 mod system;
@@ -58,7 +67,10 @@ pub use faults::{
 };
 pub use fedavg::FedAvg;
 pub use fedda::{FedDa, FedDaProtocol, MaskRule, Reactivation};
-pub use protocol::{FlProtocol, StepOutcome};
+pub use feddyn::{FedDyn, FedDynProtocol};
+pub use fedopt::{FedAdam, FedAdamProtocol};
+pub use fedprox::FedProx;
+pub use protocol::{FlProtocol, LocalPenalty, StepOutcome};
 pub use system::{
     ActivationSnapshot, AggWeighting, Client, ClientReturn, FlConfig, FlSystem, PrivacyConfig,
     RoundEval, RunResult, WeightedReturn,

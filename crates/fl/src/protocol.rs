@@ -33,7 +33,8 @@
 //!   `Explore` reactivation draws).
 //!
 //! Existing tweaks: FedAvg `0xFEDA_A0A0`, FedDA `0xDA_DA_DA`, Global
-//! `0x61_0B_A1`.
+//! `0x61_0B_A1`, FedProx `0xFED9_0B0C`, FedDyn `0xFEDD_1509`, FedAdam
+//! `0xFED0_ADA3`.
 //!
 //! Fault injection gets its **own** stream, not a protocol tweak: the
 //! [`FaultPlan`](crate::FaultPlan) is pre-sampled from
@@ -59,6 +60,25 @@ pub struct StepOutcome {
     pub reactivated: Vec<usize>,
     /// Whether a full activation reset fired.
     pub restarted: bool,
+}
+
+/// A client-side penalty on the local objective, returned by
+/// [`FlProtocol::local_regularizer`] and applied at every local gradient
+/// step by [`FlSystem::run_local_round_with`].
+///
+/// The penalised local objective is
+/// `L_i(θ) + μ/2·‖θ − θ^t‖² + ⟨linear, θ⟩`, where `θ^t` is always the
+/// round's broadcast parameters (`system.global` at dispatch time) — the
+/// anchor is supplied by the runtime, not the protocol, so the penalty
+/// travels as plain owned data. FedProx sets only `prox_mu`; FedDyn sets
+/// `prox_mu = α` plus its per-client linear state `−∇̂ᵢ`.
+#[derive(Clone, Debug, Default)]
+pub struct LocalPenalty {
+    /// Proximal coefficient `μ ≥ 0` on `½‖θ − θ^t‖²`.
+    pub prox_mu: f32,
+    /// Optional linear-term gradient in `ParamSet::flatten` order, added
+    /// verbatim to every step's gradient.
+    pub linear: Option<Vec<f32>>,
 }
 
 /// Hooks a federated algorithm implements to run under the shared
@@ -100,6 +120,25 @@ pub trait FlProtocol {
     /// Pick the clients to activate this round (sorted ascending by
     /// convention; the driver broadcasts to exactly these).
     fn select_clients(&mut self, system: &FlSystem, round: usize, rng: &mut StdRng) -> Vec<usize>;
+
+    /// Penalty this protocol puts on `client`'s local objective for the
+    /// round (FedProx's proximal term, FedDyn's dynamic regulariser). The
+    /// driver queries this once per dispatched client, after
+    /// [`build_masks`](FlProtocol::build_masks) and before local training;
+    /// the proximal anchor is the broadcast parameters of the same
+    /// dispatch. The default is `None` — no penalty, and local training is
+    /// bit-identical to the unhooked path. Deliberately RNG-free: a
+    /// regulariser is a deterministic function of protocol state, and
+    /// adding one must not shift any decision stream.
+    fn local_regularizer(
+        &mut self,
+        system: &FlSystem,
+        client: usize,
+        round: usize,
+    ) -> Option<LocalPenalty> {
+        let _ = (system, client, round);
+        None
+    }
 
     /// Build the request mask for each selected client (`masks[j]`
     /// corresponds to `active[j]`, one bool per parameter unit).

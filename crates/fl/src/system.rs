@@ -5,10 +5,12 @@
 
 use crate::comm::{CommLog, RoundComm};
 use crate::faults::{FaultConfig, FaultObserved};
+use crate::protocol::LocalPenalty;
 use fedda_data::ClientData;
 use fedda_hetgraph::{HeteroGraph, LinkExample, LinkSampler};
 use fedda_hgn::{
-    evaluate, train_local, EvalResult, GraphView, HgnConfig, LinkPredictor, SimpleHgn, TrainConfig,
+    evaluate, train_local_penalized, EvalResult, GraphView, HgnConfig, LinkPredictor, SimpleHgn,
+    TrainConfig,
 };
 use fedda_tensor::{ParamId, ParamSet};
 use rand::rngs::StdRng;
@@ -314,6 +316,17 @@ impl FlSystem {
         self.cfg.faults = faults;
     }
 
+    /// Replace the local-training hyper-parameters on an assembled
+    /// federation. Client-objective penalties
+    /// ([`FlProtocol::local_regularizer`](crate::FlProtocol::local_regularizer))
+    /// only bite from the second local gradient step — the first step
+    /// starts exactly at the broadcast anchor, where the proximal gradient
+    /// vanishes — so studies of FedProx-style protocols want more than one
+    /// local epoch/batch per round.
+    pub fn set_train(&mut self, train: TrainConfig) {
+        self.cfg.train = train;
+    }
+
     /// The global training graph (evaluation-time message passing; also
     /// what the `Global` baseline trains on).
     pub fn eval_graph(&self) -> &HeteroGraph {
@@ -366,19 +379,49 @@ impl FlSystem {
     ///
     /// [`WorkerPool`]: crate::runtime::WorkerPool
     pub fn run_local_round(&self, active: &[usize], round: usize) -> Vec<ClientReturn> {
-        let work = |&i: &usize| -> ClientReturn {
+        self.run_local_round_with(active, round, &[])
+    }
+
+    /// [`FlSystem::run_local_round`] with per-client objective penalties:
+    /// `penalties[j]` (if any) is applied to `active[j]`'s local objective
+    /// at every gradient step, anchored at the current broadcast
+    /// (`self.global`). An empty slice or all-`None` entries make this
+    /// bit-identical to the penalty-free path — no extra RNG draws, no
+    /// extra float operations.
+    pub fn run_local_round_with(
+        &self,
+        active: &[usize],
+        round: usize,
+        penalties: &[Option<LocalPenalty>],
+    ) -> Vec<ClientReturn> {
+        assert!(
+            penalties.is_empty() || penalties.len() == active.len(),
+            "one penalty slot per active client (or none at all)"
+        );
+        let positions: Vec<usize> = (0..active.len()).collect();
+        let work = |&pos: &usize| -> ClientReturn {
+            let i = active[pos];
             let client = &self.clients[i];
             let mut params = self.global.clone();
             let mut rng =
                 StdRng::seed_from_u64(client.seed ^ (round as u64).wrapping_mul(0x9E37_79B9));
             let sampler = LinkSampler::new(&client.data.graph);
-            train_local(
+            let penalty = penalties
+                .get(pos)
+                .and_then(|p| p.as_ref())
+                .map(|p| fedda_hgn::Penalty {
+                    prox_mu: p.prox_mu,
+                    reference: &self.global,
+                    linear: p.linear.as_deref(),
+                });
+            train_local_penalized(
                 self.model.as_ref(),
                 &mut params,
                 &client.view,
                 &sampler,
                 &client.positives,
                 &self.cfg.train,
+                penalty.as_ref(),
                 &mut rng,
             );
             if let Some(privacy) = self.cfg.privacy {
@@ -398,7 +441,7 @@ impl FlSystem {
         } else {
             1
         };
-        crate::runtime::WorkerPool::new(workers).run_ordered(active, work)
+        crate::runtime::WorkerPool::new(workers).run_ordered(&positions, work)
     }
 
     /// Masked federated averaging (Eq. 6): for every unit `k`,

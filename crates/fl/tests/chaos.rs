@@ -22,8 +22,8 @@
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
 use fedda_fl::{
     AsyncConfig, AsyncDriver, Corruption, FaultConfig, FaultEffect, FaultKind, FaultObserved,
-    FaultPlan, FedAvg, FedDa, FlConfig, FlProtocol, FlSystem, MemorySink, RoundDriver, RunResult,
-    ScriptedFault, StalenessPolicy,
+    FaultPlan, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlConfig, FlProtocol, FlSystem, MemorySink,
+    RoundDriver, RunResult, ScriptedFault, StalenessPolicy,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -86,14 +86,21 @@ fn mixed_faults(rate: f64) -> FaultConfig {
     }
 }
 
-/// Run protocol `which` (0 = FedAvg, 1 = FedDA-Restart, 2 = FedDA-Explore)
-/// through the shared driver with an event sink attached.
+/// Number of protocols in the sweep (see [`run_protocol`]).
+const PROTOCOLS: usize = 6;
+
+/// Run protocol `which` (0 = FedAvg, 1 = FedDA-Restart, 2 = FedDA-Explore,
+/// 3 = FedProx, 4 = FedDyn, 5 = FedAdam) through the shared driver with an
+/// event sink attached.
 fn run_protocol(which: usize, sys: &mut FlSystem, sink: &mut MemorySink) -> RunResult {
     let mut driver = RoundDriver::with_sink(sink);
     match which {
         0 => driver.run(&mut FedAvg::vanilla(), sys),
         1 => driver.run(&mut FedDa::restart().protocol(), sys),
-        _ => driver.run(&mut FedDa::explore().protocol(), sys),
+        2 => driver.run(&mut FedDa::explore().protocol(), sys),
+        3 => driver.run(&mut FedProx::new(0.01), sys),
+        4 => driver.run(&mut FedDyn::new(0.01).protocol(), sys),
+        _ => driver.run(&mut FedAdam::new(0.01).protocol(), sys),
     }
     .expect("chaos runs use valid configurations")
 }
@@ -281,8 +288,9 @@ fn chaos_sweep_invariants_hold_across_rates_protocols_and_seeds() {
     let rates = [0.0, 0.3];
     let mut mean_final_auc = [0.0f64; 2];
     let mut saw_faults = false;
+    let sweep_size = (PROTOCOLS * 3) as f64;
     for (ri, &rate) in rates.iter().enumerate() {
-        for which in 0..3usize {
+        for which in 0..PROTOCOLS {
             for seed in [GOLDEN_SEED, 43, 44] {
                 let faults = (rate > 0.0).then(|| mixed_faults(rate));
                 let mut sys = chaos_system(seed, faults.clone());
@@ -291,7 +299,7 @@ fn chaos_sweep_invariants_hold_across_rates_protocols_and_seeds() {
                 let label = format!("rate={rate} protocol={which} seed={seed}");
                 check_chaos_invariants(&sys, &sink, &result, faults.as_ref(), seed, &label);
                 saw_faults |= !result.faults.is_empty();
-                mean_final_auc[ri] += result.final_eval.roc_auc / 9.0;
+                mean_final_auc[ri] += result.final_eval.roc_auc / sweep_size;
             }
         }
     }
@@ -317,7 +325,7 @@ fn chaos_sweep_invariants_hold_across_rates_protocols_and_seeds() {
 fn light_faults_keep_every_protocol_within_the_invariants() {
     // The 0.1-rate point of the sweep, split out so failures bisect.
     let faults = mixed_faults(0.1);
-    for which in 0..3usize {
+    for which in 0..PROTOCOLS {
         for seed in [GOLDEN_SEED, 43, 44] {
             let mut sys = chaos_system(seed, Some(faults.clone()));
             let mut sink = MemorySink::new();
@@ -397,6 +405,83 @@ fn fedavg_uplink_counts_only_arrived_bytes_under_mixed_faults() {
         "uplink must equal arrived reports × model size"
     );
     assert_eq!(result.comm.total_downlink_units(), ROUNDS * M * n);
+}
+
+#[test]
+fn new_protocol_uplink_counts_only_arrived_bytes_under_mixed_faults() {
+    // Same ledger arithmetic as the FedAvg pin above, for the three ports:
+    // FedProx/FedDyn/FedAdam all select everyone with full masks, so
+    // arrivals = dispatched − dropouts − held stragglers + stale arrivals.
+    for which in 3..PROTOCOLS {
+        let fc = mixed_faults(0.3);
+        let mut sys = chaos_system(43, Some(fc.clone()));
+        let mut sink = MemorySink::new();
+        let result = run_protocol(which, &mut sys, &mut sink);
+
+        let mut drops = 0usize;
+        let mut held = 0usize;
+        let mut stale = 0usize;
+        for f in &result.faults {
+            match f.effect {
+                FaultEffect::Dropout => drops += 1,
+                FaultEffect::StragglerHeld { .. } => held += 1,
+                FaultEffect::StaleApplied { .. } | FaultEffect::StaleDiscarded { .. } => stale += 1,
+                FaultEffect::CorruptionRejected { .. } => {}
+            }
+        }
+        let n = sys.num_units();
+        assert_eq!(
+            result.comm.total_uplink_units(),
+            (ROUNDS * M - drops - held + stale) * n,
+            "protocol={which}: uplink must equal arrived reports × model size"
+        );
+        assert_eq!(
+            result.comm.total_downlink_units(),
+            ROUNDS * M * n,
+            "protocol={which}: downlink"
+        );
+    }
+}
+
+#[test]
+fn feddyn_h_state_stays_finite_under_garbage_corruption() {
+    // Finite garbage (scale 1e4 on the whole update) feeds FedDyn's
+    // server-side correction state. Whether the server rejects it with a
+    // norm bound or lets it through, `h` and `∇̂ᵢ` must stay finite — the
+    // h update is a bounded linear map of the (finite) admitted deltas.
+    for max_update_norm in [Some(10.0f32), None] {
+        let fc = FaultConfig {
+            corruption: 0.5,
+            corruption_kind: Corruption::Garbage { scale: 1e4 },
+            max_update_norm,
+            ..Default::default()
+        };
+        let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+        let mut protocol = FedDyn::new(0.01).protocol();
+        let result = RoundDriver::new()
+            .run(&mut protocol, &mut sys)
+            .expect("valid FedDyn chaos configuration");
+        let label = format!("max_update_norm={max_update_norm:?}");
+        assert_eq!(result.curve.len(), ROUNDS, "{label}: all rounds ran");
+        assert!(
+            protocol.h_state().iter().all(|h| h.is_finite()),
+            "{label}: FedDyn h-state picked up non-finite values"
+        );
+        assert!(
+            sys.global.flatten().iter().all(|v| v.is_finite()),
+            "{label}: global model picked up non-finite parameters"
+        );
+        if max_update_norm.is_some() {
+            // With the norm bound the garbage is caught and logged.
+            assert!(
+                result.faults.iter().any(|f| matches!(
+                    f.effect,
+                    FaultEffect::CorruptionRejected { non_finite: false }
+                )),
+                "{label}: rate 0.5 must reject some garbage"
+            );
+        }
+    }
 }
 
 /// Pinned golden expectations copied from `golden_curves.rs` — a fault

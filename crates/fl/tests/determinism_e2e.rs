@@ -11,7 +11,9 @@
 //! job exercises the real 4-vs-1 comparison.
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
-use fedda_fl::{FedDa, FlConfig, FlSystem, RunResult};
+use fedda_fl::{
+    FedAdam, FedDa, FedDyn, FedProx, FlConfig, FlProtocol, FlSystem, RoundDriver, RunResult,
+};
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
 use fedda_tensor::gemm::with_kernel_threads;
@@ -82,23 +84,33 @@ fn fingerprint(result: &RunResult, system: &FlSystem) -> Fingerprint {
     }
 }
 
-fn run_fedda(fedda: &FedDa, parallel: bool, kernel_threads: usize) -> Fingerprint {
+fn run_protocol(
+    make: &dyn Fn() -> Box<dyn FlProtocol>,
+    parallel: bool,
+    kernel_threads: usize,
+) -> Fingerprint {
     with_kernel_threads(kernel_threads, || {
         let mut sys = build_system(parallel);
-        let result = fedda.run(&mut sys);
+        // A fresh protocol instance per run: stateful protocols (FedDA's
+        // bandit, FedDyn's h, FedAdam's moments) must not leak state
+        // between the arms being compared.
+        let mut protocol = make();
+        let result = RoundDriver::new()
+            .run(protocol.as_mut(), &mut sys)
+            .expect("valid protocol configuration");
         fingerprint(&result, &sys)
     })
 }
 
-fn assert_invariant_under_execution_strategy(fedda: &FedDa, name: &str) {
-    let reference = run_fedda(fedda, true, 1);
+fn assert_invariant_under_execution_strategy(make: &dyn Fn() -> Box<dyn FlProtocol>, name: &str) {
+    let reference = run_protocol(make, true, 1);
     assert_eq!(
         reference.curve.len(),
         ROUNDS,
         "{name}: expected one eval per round"
     );
     for (parallel, threads) in [(true, 4), (false, 1), (false, 4), (true, 1)] {
-        let other = run_fedda(fedda, parallel, threads);
+        let other = run_protocol(make, parallel, threads);
         assert_eq!(
             reference, other,
             "{name}: run diverged under parallel={parallel}, kernel_threads={threads}"
@@ -108,10 +120,34 @@ fn assert_invariant_under_execution_strategy(fedda: &FedDa, name: &str) {
 
 #[test]
 fn fedda_restart_is_bit_identical_across_threads_and_dispatch() {
-    assert_invariant_under_execution_strategy(&FedDa::restart(), "FedDA-Restart");
+    assert_invariant_under_execution_strategy(
+        &|| Box::new(FedDa::restart().protocol()),
+        "FedDA-Restart",
+    );
 }
 
 #[test]
 fn fedda_explore_is_bit_identical_across_threads_and_dispatch() {
-    assert_invariant_under_execution_strategy(&FedDa::explore(), "FedDA-Explore");
+    assert_invariant_under_execution_strategy(
+        &|| Box::new(FedDa::explore().protocol()),
+        "FedDA-Explore",
+    );
+}
+
+#[test]
+fn fedprox_is_bit_identical_across_threads_and_dispatch() {
+    assert_invariant_under_execution_strategy(&|| Box::new(FedProx::new(0.1)), "FedProx");
+}
+
+#[test]
+fn feddyn_is_bit_identical_across_threads_and_dispatch() {
+    assert_invariant_under_execution_strategy(&|| Box::new(FedDyn::new(0.01).protocol()), "FedDyn");
+}
+
+#[test]
+fn fedadam_is_bit_identical_across_threads_and_dispatch() {
+    assert_invariant_under_execution_strategy(
+        &|| Box::new(FedAdam::new(0.01).protocol()),
+        "FedAdam",
+    );
 }

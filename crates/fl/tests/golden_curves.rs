@@ -12,7 +12,10 @@
 //! and paste the printed literals back into this file.
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
-use fedda_fl::{baselines, AsyncConfig, AsyncDriver, FedAvg, FedDa, FlConfig, FlSystem, RunResult};
+use fedda_fl::{
+    baselines, AsyncConfig, AsyncDriver, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlConfig,
+    FlSystem, RunResult,
+};
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
 use rand::rngs::StdRng;
@@ -23,6 +26,15 @@ const ROUNDS: usize = 5;
 const SEED: u64 = 42;
 
 fn golden_system() -> FlSystem {
+    golden_system_with_epochs(1)
+}
+
+/// The golden federation with a configurable local-epoch count. The
+/// FedProx pins use two local epochs: with a single local gradient step
+/// the client starts exactly at the broadcast anchor, the proximal
+/// gradient `μ(θ − θ^t)` is identically zero, and the pin would be
+/// vacuously equal to a FedAvg trajectory.
+fn golden_system_with_epochs(local_epochs: usize) -> FlSystem {
     let g = dblp_like(&PresetOptions {
         scale: 0.0015,
         seed: SEED,
@@ -43,7 +55,7 @@ fn golden_system() -> FlSystem {
             ..Default::default()
         },
         train: TrainConfig {
-            local_epochs: 1,
+            local_epochs,
             lr: 5e-3,
             ..Default::default()
         },
@@ -277,6 +289,176 @@ fn golden_async_fedda_explore() {
                 0.5588573105298466,
             ],
             uplink_units: 239,
+        },
+    );
+}
+
+#[test]
+fn golden_fedprox() {
+    // Two local epochs so the proximal gradient actually bites (see
+    // `golden_system_with_epochs`); μ = 0.1 is inside the paper's sweep.
+    let mut sys = golden_system_with_epochs(2);
+    let result = FedProx::new(0.1).run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedProx(mu=0.1)",
+            auc: &[
+                0.5607446025920783,
+                0.5925200393807813,
+                0.6061676773604591,
+                0.6174080296200783,
+                0.6238501119523611,
+            ],
+            mrr: &[
+                0.5691496199418747,
+                0.5899578023697762,
+                0.5960163760339834,
+                0.6089341605186692,
+                0.6171822602280367,
+            ],
+            uplink_units: 625,
+        },
+    );
+}
+
+#[test]
+fn golden_feddyn() {
+    let mut sys = golden_system();
+    let result = FedDyn::new(0.01).run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedDyn(alpha=0.01)",
+            auc: &[
+                0.5626007364610196,
+                0.6121640510774611,
+                0.6305923372787586,
+                0.6411825232170277,
+                0.6434809217196764,
+            ],
+            mrr: &[
+                0.5693061144645665,
+                0.5992859937402212,
+                0.6168203666443116,
+                0.6259780907668244,
+                0.6405865750055906,
+            ],
+            uplink_units: 625,
+        },
+    );
+}
+
+#[test]
+fn golden_fedadam() {
+    let mut sys = golden_system();
+    let result = FedAdam::new(0.01).run(&mut sys);
+    check(
+        &result,
+        &Golden {
+            name: "FedAdam(lr=0.01)",
+            auc: &[
+                0.5642674513434284,
+                0.6036691261287076,
+                0.6222254136451468,
+                0.630703520483884,
+                0.6332669907682926,
+            ],
+            mrr: &[
+                0.5723381958417184,
+                0.5936172591102192,
+                0.6119061591772876,
+                0.6156704113570325,
+                0.6281955622624652,
+            ],
+            uplink_units: 625,
+        },
+    );
+}
+
+#[test]
+fn golden_async_fedprox() {
+    let mut sys = golden_system_with_epochs(2);
+    let result = AsyncDriver::new(AsyncConfig { k: 2, gamma: 0.9 })
+        .run(&mut FedProx::new(0.1), &mut sys)
+        .expect("golden async run");
+    check(
+        &result,
+        &Golden {
+            name: "async FedProx(mu=0.1) (K=2, gamma=0.9)",
+            auc: &[
+                0.5629403704438419,
+                0.5718306644772128,
+                0.5703008478623436,
+                0.583364960564115,
+                0.6121060199879507,
+            ],
+            mrr: &[
+                0.5723954840152037,
+                0.5739562374245495,
+                0.5700047507265831,
+                0.584979320366646,
+                0.6156270959087875,
+            ],
+            uplink_units: 250,
+        },
+    );
+}
+
+#[test]
+fn golden_async_feddyn() {
+    let mut sys = golden_system();
+    let result = AsyncDriver::new(AsyncConfig { k: 2, gamma: 0.9 })
+        .run(&mut FedDyn::new(0.01).protocol(), &mut sys)
+        .expect("golden async run");
+    check(
+        &result,
+        &Golden {
+            name: "async FedDyn(alpha=0.01) (K=2, gamma=0.9)",
+            auc: &[
+                0.548277504096042,
+                0.5498108794918704,
+                0.5589690004922597,
+                0.5727839011770152,
+                0.5991398885619402,
+            ],
+            mrr: &[
+                0.5630183881064172,
+                0.559752962217753,
+                0.562309970936733,
+                0.5730214621059709,
+                0.6025108987256895,
+            ],
+            uplink_units: 250,
+        },
+    );
+}
+
+#[test]
+fn golden_async_fedadam() {
+    let mut sys = golden_system();
+    let result = AsyncDriver::new(AsyncConfig { k: 2, gamma: 0.9 })
+        .run(&mut FedAdam::new(0.01).protocol(), &mut sys)
+        .expect("golden async run");
+    check(
+        &result,
+        &Golden {
+            name: "async FedAdam(lr=0.01) (K=2, gamma=0.9)",
+            auc: &[
+                0.5569088107150991,
+                0.5667173850353031,
+                0.5660040216520825,
+                0.5678609591167243,
+                0.5839737991065853,
+            ],
+            mrr: &[
+                0.5702660406885772,
+                0.571706628660856,
+                0.5707802369774216,
+                0.5734797674938535,
+                0.5921710820478445,
+            ],
+            uplink_units: 250,
         },
     );
 }

@@ -1,13 +1,15 @@
 //! Property-based tests of the FL layer's pure logic: the analytic
-//! communication model, the comm accounting and the fault-injection
-//! configuration/renormalisation rules.
+//! communication model, the comm accounting, the fault-injection
+//! configuration/renormalisation rules, and the protocol-zoo math helpers
+//! (FedProx proximal term, FedDyn h update, FedAdam moment update).
 
 use fedda_fl::analysis::{
     explore_expected_units, explore_ratio_bound, restart_expected_units, restart_period,
     restart_ratio, EfficiencyInputs,
 };
 use fedda_fl::{
-    renormalize, CommLog, Corruption, FaultConfig, FaultPlan, RoundComm, StalenessPolicy,
+    feddyn::update_h, fedopt::adam_update, fedprox::proximal_term, renormalize, CommLog,
+    Corruption, FaultConfig, FaultPlan, RoundComm, StalenessPolicy,
 };
 use proptest::prelude::*;
 
@@ -226,5 +228,82 @@ proptest! {
         prop_assert_eq!(log.total_activations(), activations);
         prop_assert_eq!(log.total_downlink_units(), units * 2);
         prop_assert_eq!(log.uplink_units_through(rounds.len() + 5), units);
+    }
+
+    #[test]
+    fn proximal_term_is_zero_at_the_global_point_and_linear_in_mu(
+        theta in prop::collection::vec(-10.0f32..10.0, 1..64),
+        mu in 0.0f64..100.0,
+        scale in 1.5f64..10.0,
+    ) {
+        // μ/2·‖θ − θ_ref‖² vanishes exactly at θ_ref for every μ…
+        prop_assert_eq!(proximal_term(&theta, &theta, mu), 0.0);
+        // …is non-negative everywhere…
+        let reference = vec![0.0f32; theta.len()];
+        let base = proximal_term(&theta, &reference, mu);
+        prop_assert!(base >= 0.0);
+        // …and is exactly linear in μ (the f64 accumulation factors μ out).
+        let scaled = proximal_term(&theta, &reference, mu * scale);
+        prop_assert!((scaled - base * scale).abs() <= 1e-9 * scaled.abs().max(1.0),
+            "proximal term not linear in mu: {scaled} vs {}", base * scale);
+    }
+
+    #[test]
+    fn feddyn_h_updates_telescope(
+        deltas in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 4), 1..20,
+        ),
+        alpha in 1e-3f64..10.0,
+        clients in 1usize..16,
+    ) {
+        // Applying the per-round h update sequentially over T rounds must
+        // telescope: h_T = −α/m · Σ_t Σ_k delta_t[k], per coordinate.
+        let dim = deltas[0].len();
+        let mut h = vec![0.0f64; dim];
+        for delta_sum in &deltas {
+            update_h(&mut h, delta_sum, alpha, clients);
+        }
+        for k in 0..dim {
+            let total: f64 = deltas.iter().map(|d| d[k]).sum();
+            let expected = -alpha / (clients as f64) * total;
+            prop_assert!((h[k] - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+                "h[{k}] = {} does not telescope to {expected}", h[k]);
+            prop_assert!(h[k].is_finite());
+        }
+    }
+
+    #[test]
+    fn adam_moments_stay_finite_and_match_the_scalar_reference(
+        deltas in prop::collection::vec(-1e3f64..1e3, 1..50),
+        lr in 1e-4f64..1.0,
+        beta1 in 0.0f64..0.999,
+        beta2 in 0.0f64..0.999,
+        epsilon in 1e-8f64..1e-2,
+    ) {
+        // Drive one scalar coordinate through T rounds of adam_update and
+        // check the moments against the closed-form EMA (powi-based bias
+        // correction), staying finite throughout.
+        let mut m = 0.0f64;
+        let mut v = 0.0f64;
+        for (t, &delta) in deltas.iter().enumerate() {
+            let steps = (t + 1) as i32;
+            let bias1 = 1.0 - beta1.powi(steps);
+            let bias2 = 1.0 - beta2.powi(steps);
+            let (m_next, v_next, step) =
+                adam_update(m, v, delta, lr, beta1, beta2, epsilon, bias1, bias2);
+            // Reference EMA recursion, computed independently.
+            let m_ref = beta1 * m + (1.0 - beta1) * delta;
+            let v_ref = beta2 * v + (1.0 - beta2) * delta * delta;
+            prop_assert_eq!(m_next.to_bits(), m_ref.to_bits());
+            prop_assert_eq!(v_next.to_bits(), v_ref.to_bits());
+            let step_ref = lr * (m_ref / bias1) / ((v_ref / bias2).sqrt() + epsilon);
+            prop_assert_eq!(step.to_bits(), step_ref.to_bits());
+            prop_assert!(m_next.is_finite() && v_next.is_finite() && step.is_finite());
+            prop_assert!(v_next >= 0.0, "second moment went negative: {v_next}");
+            // The bias-corrected step is bounded by lr·|m̂|/ε.
+            prop_assert!(step.abs() <= lr * (m_ref / bias1).abs() / epsilon + 1e-12);
+            m = m_next;
+            v = v_next;
+        }
     }
 }

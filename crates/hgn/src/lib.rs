@@ -32,7 +32,7 @@ pub use model::SimpleHgn;
 pub use predictor::LinkPredictor;
 pub use rgcn::{Rgcn, RgcnConfig};
 pub use trainer::{
-    evaluate, evaluate_detailed, train_local, DetailedEvalResult, EvalResult, Optimizer,
-    TrainConfig, TrainStats,
+    evaluate, evaluate_detailed, train_local, train_local_penalized, DetailedEvalResult,
+    EvalResult, Optimizer, Penalty, TrainConfig, TrainStats,
 };
 pub use view::GraphView;

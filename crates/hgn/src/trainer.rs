@@ -61,6 +61,62 @@ pub struct TrainStats {
     pub steps: usize,
 }
 
+/// A differentiable penalty added to the local objective at every gradient
+/// step — the client-side seam federated regularisers (FedProx, FedDyn)
+/// plug into.
+///
+/// The penalised objective is
+/// `L(θ) + μ/2·‖θ − θ_ref‖² + ⟨linear, θ⟩`, so each step's gradient gains
+/// `μ·(θ − θ_ref) + linear`. The penalty gradient is applied *after* the
+/// task gradients accumulate and *before* gradient clipping, so the clip
+/// bounds the full (regularised) update direction.
+#[derive(Clone, Copy, Debug)]
+pub struct Penalty<'a> {
+    /// Proximal coefficient `μ ≥ 0` (FedProx's μ, FedDyn's α).
+    pub prox_mu: f32,
+    /// Anchor `θ_ref` of the proximal term — normally the round's broadcast
+    /// parameters. Must have the same unit layout as the trained set.
+    pub reference: &'a ParamSet,
+    /// Optional linear-term gradient in [`ParamSet::flatten`] order, added
+    /// verbatim to every step's gradient (FedDyn's `−∇̂ᵢ` state).
+    pub linear: Option<&'a [f32]>,
+}
+
+/// Add the penalty gradient `μ·(θ − θ_ref) + linear` to every unit's
+/// accumulated gradient.
+fn apply_penalty_grads(params: &mut ParamSet, penalty: &Penalty<'_>) {
+    if let Some(linear) = penalty.linear {
+        assert_eq!(
+            linear.len(),
+            params.num_scalars(),
+            "linear penalty must be one value per scalar in flatten order"
+        );
+    }
+    let ids: Vec<_> = params.ids().collect();
+    let mut offset = 0usize;
+    for id in ids {
+        let extra: Vec<f32> = {
+            let theta = params.get(id).value().as_slice();
+            let reference = penalty.reference.get(id).value().as_slice();
+            assert_eq!(theta.len(), reference.len(), "penalty reference layout");
+            theta
+                .iter()
+                .zip(reference)
+                .enumerate()
+                .map(|(k, (&t, &r))| {
+                    let lin = penalty.linear.map_or(0.0, |l| l[offset + k]);
+                    penalty.prox_mu * (t - r) + lin
+                })
+                .collect()
+        };
+        let grad = params.get_mut(id).grad_mut().as_mut_slice();
+        for (g, e) in grad.iter_mut().zip(&extra) {
+            *g += e;
+        }
+        offset += extra.len();
+    }
+}
+
 /// Run `E` local epochs of link-prediction training on one graph.
 ///
 /// `positives` is the client's local task (a biased client passes only its
@@ -73,6 +129,24 @@ pub fn train_local<R: Rng>(
     sampler: &LinkSampler<'_>,
     positives: &[LinkExample],
     config: &TrainConfig,
+    rng: &mut R,
+) -> TrainStats {
+    train_local_penalized(model, params, view, sampler, positives, config, None, rng)
+}
+
+/// [`train_local`] with an optional [`Penalty`] on the objective.
+///
+/// With `penalty: None` this is bit-identical to [`train_local`] — the
+/// penalty branch adds no RNG draws and no float operations when absent.
+#[allow(clippy::too_many_arguments)]
+pub fn train_local_penalized<R: Rng>(
+    model: &dyn LinkPredictor,
+    params: &mut ParamSet,
+    view: &GraphView,
+    sampler: &LinkSampler<'_>,
+    positives: &[LinkExample],
+    config: &TrainConfig,
+    penalty: Option<&Penalty<'_>>,
     rng: &mut R,
 ) -> TrainStats {
     assert!(config.local_epochs > 0, "local_epochs must be positive");
@@ -111,6 +185,9 @@ pub fn train_local<R: Rng>(
             graph.backward(loss);
             params.zero_grads();
             bindings.accumulate_grads(&graph, params);
+            if let Some(pen) = penalty {
+                apply_penalty_grads(params, pen);
+            }
             if config.grad_clip > 0.0 {
                 params.clip_grad_norm(config.grad_clip);
             }
