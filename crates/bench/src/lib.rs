@@ -25,13 +25,19 @@
 //! * `--workers <n>`   — worker-pool size for parallel client updates
 //!   (default: one worker per dispatched client; results are identical
 //!   for any value)
+//! * `--compress <c>`  — uplink codec: `ident` (bit-exact), `q8`
+//!   (int8 quantization), `f16` (half precision) or `topk:<frac>`
+//!   (magnitude sparsification, e.g. `topk:0.25`); default: none
+//!   (uncompressed ledger accounting, 4 bytes per masked scalar)
 //! * `--quick`         — shrink the *defaults* to CI-smoke size (never
 //!   overrides an explicit `--scale`/`--rounds`/`--runs`)
 //! * `--paper`         — paper-like settings (5 runs, 40 rounds)
 //! * `--events`        — stream per-round driver events to stderr
 
 use fedda::experiment::{Dataset, ExperimentConfig, Framework};
-use fedda::fl::{AsyncConfig, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlProtocol, RuntimeMode};
+use fedda::fl::{
+    AsyncConfig, Compression, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlProtocol, RuntimeMode,
+};
 use fedda::hgn::{HgnConfig, TrainConfig};
 use std::collections::HashMap;
 use std::path::Path;
@@ -58,6 +64,7 @@ pub const KNOWN_FLAGS: &[&str] = &[
     "async-k",
     "async-gamma",
     "workers",
+    "compress",
     "framework",
     "mu",
     "alpha",
@@ -247,6 +254,17 @@ pub fn runtime_config(opts: &Options) -> RuntimeMode {
     mode
 }
 
+/// Resolve `--compress` into an uplink [`Compression`] codec (`None`
+/// when the flag is absent: the historical uncompressed ledger). A typo
+/// or an out-of-range top-k fraction panics with the usage hint,
+/// matching [`runtime_config`]'s conventions.
+pub fn compression_config(opts: &Options) -> Option<Compression> {
+    opts.get_str("compress").map(|spec| {
+        spec.parse::<Compression>()
+            .unwrap_or_else(|e| panic!("bad value for --compress: {spec} ({e})\n{}", usage()))
+    })
+}
+
 /// Resolve a framework name plus its hyper-parameter flags into a
 /// [`Framework`] — the one protocol parser shared by the CLI `train`
 /// subcommand and the bench binaries.
@@ -326,6 +344,7 @@ pub fn base_config(dataset: Dataset, opts: &Options) -> ExperimentConfig {
         faults: opts.get("faults"),
         runtime: runtime_config(opts),
         workers: opts.get("workers"),
+        compression: compression_config(opts),
         ..Default::default()
     };
     if opts.quick {
@@ -538,6 +557,45 @@ mod tests {
             base_config(Dataset::DblpLike, &Options::default()).runtime,
             RuntimeMode::Sync
         );
+    }
+
+    #[test]
+    fn compress_flag_flows_into_config() {
+        // Absent flag: historical uncompressed accounting.
+        assert_eq!(compression_config(&Options::default()), None);
+        assert_eq!(
+            base_config(Dataset::DblpLike, &Options::default()).compression,
+            None
+        );
+        // Every codec spelling round-trips into the config.
+        for (spec, want) in [
+            ("ident", Compression::Identity),
+            ("q8", Compression::QuantI8),
+            ("f16", Compression::QuantF16),
+            ("topk:0.25", Compression::TopK { frac: 0.25 }),
+        ] {
+            let o = Options::from_args(args(&["--compress", spec]));
+            assert_eq!(compression_config(&o), Some(want), "{spec}");
+            assert_eq!(
+                base_config(Dataset::DblpLike, &o).compression,
+                Some(want),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --compress")]
+    fn compress_typo_panics_naming_choices() {
+        let o = Options::from_args(args(&["--compress", "gzip"]));
+        let _ = compression_config(&o);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value for --compress")]
+    fn compress_topk_fraction_out_of_range_panics() {
+        let o = Options::from_args(args(&["--compress", "topk:0.9"]));
+        let _ = compression_config(&o);
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::snapshot::{time_case, CaseResult};
 use crate::{experiment_model, experiment_train};
 use fedda::experiment::{Dataset, Experiment, ExperimentConfig, Framework};
 use fedda::fl::{
-    AsyncConfig, AsyncDriver, FedAvg, FedDa, FlConfig, FlSystem, RoundDriver, RuntimeMode,
+    AsyncConfig, AsyncDriver, Compression, FedAvg, FedDa, FlConfig, FlSystem, RoundDriver,
+    RuntimeMode,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hetgraph::LinkSampler;
@@ -246,6 +247,46 @@ pub fn run_suite(cfg: &SuiteConfig) -> Vec<CaseResult> {
             1,
             || {
                 black_box(async_exp.run_framework(framework));
+            },
+        );
+        push(&mut out, case);
+    }
+
+    // 4b. The same sync round through each uplink codec at the smallest
+    //     FL scale — pins the encode/decode overhead of the Compressor
+    //     stage relative to the uncompressed `fl_round/fedavg` case above
+    //     (ident isolates pure framing cost, the lossy codecs add their
+    //     quantization/selection arithmetic).
+    for compression in [
+        Compression::Identity,
+        Compression::QuantI8,
+        Compression::QuantF16,
+        Compression::TopK { frac: 0.25 },
+    ] {
+        let exp = Experiment::new(ExperimentConfig {
+            dataset: Dataset::DblpLike,
+            scale: cfg.fl_scales()[0],
+            num_clients: 4,
+            rounds: 1,
+            runs: 1,
+            model: experiment_model(false),
+            train: experiment_train(),
+            seed: cfg.seed,
+            compression: Some(compression),
+            ..Default::default()
+        });
+        let label = match compression {
+            Compression::Identity => "ident",
+            Compression::QuantI8 => "q8",
+            Compression::QuantF16 => "f16",
+            Compression::TopK { .. } => "topk",
+        };
+        let case = time_case(
+            &format!("fl_round_compressed/{label}/s{}", cfg.fl_scales()[0]),
+            cfg.samples(),
+            1,
+            || {
+                black_box(exp.run_framework(&Framework::FedAvg(FedAvg::vanilla())));
             },
         );
         push(&mut out, case);

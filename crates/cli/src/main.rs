@@ -50,6 +50,7 @@ SUBCOMMANDS:
                   [--adam-eps <f64>]
                   [--runtime sync|async]  [--async-k <n>]
                   [--async-gamma <f64>]  [--workers <n>]
+                  [--compress ident|q8|f16|topk:<frac>]
                   [--faults drop=<f64>,straggle=<f64>,delay=<n>,
                    corrupt=<f64>,kind=nan|inf|garbage:<s>,
                    stale=discard|discount:<g>,maxnorm=<f64>]
@@ -195,6 +196,7 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     println!("final MRR     : {}", res.final_mrr.fmt_pm());
     println!("best ROC-AUC  : {}", res.best_auc.fmt_pm());
     println!("uplink units  : {:.0}", res.uplink_units.mean);
+    println!("uplink bytes  : {:.0}", res.uplink_bytes.mean);
     Ok(())
 }
 

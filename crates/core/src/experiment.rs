@@ -6,9 +6,9 @@ use fedda_data::{
     PresetOptions,
 };
 use fedda_fl::{
-    baselines, AggWeighting, AsyncDriver, EventSink, FaultConfig, FedAdam, FedAvg, FedDa, FedDyn,
-    FedProx, FlConfig, FlProtocol, FlSystem, GlobalProtocol, PrivacyConfig, RoundDriver,
-    RuntimeMode,
+    baselines, AggWeighting, AsyncDriver, Compression, EventSink, FaultConfig, FedAdam, FedAvg,
+    FedDa, FedDyn, FedProx, FlConfig, FlProtocol, FlSystem, GlobalProtocol, PrivacyConfig,
+    RoundDriver, RuntimeMode,
 };
 use fedda_hetgraph::split::{split_edges, EdgeSplit};
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -88,6 +88,9 @@ pub struct ExperimentConfig {
     /// update corruption), applied identically to every framework under
     /// comparison.
     pub faults: Option<FaultConfig>,
+    /// Optional uplink compression codec (`FlConfig::compression`),
+    /// applied identically to every framework under comparison.
+    pub compression: Option<Compression>,
 }
 
 impl Default for ExperimentConfig {
@@ -114,6 +117,7 @@ impl Default for ExperimentConfig {
             weighting: AggWeighting::Uniform,
             privacy: None,
             faults: None,
+            compression: None,
         }
     }
 }
@@ -177,6 +181,13 @@ pub struct FrameworkResult {
     pub best_auc: MeanStd,
     /// Total uplink parameter units over runs (Table 3's measure).
     pub uplink_units: MeanStd,
+    /// Total uplink encoded scalars over runs (post-mask,
+    /// post-compression entry count; equals the masked scalar count for
+    /// dense codecs, the kept count for top-k).
+    pub uplink_scalars: MeanStd,
+    /// Total uplink payload bytes over runs — post-mask, post-compression;
+    /// the AUC-vs-bytes frontier's x axis.
+    pub uplink_bytes: MeanStd,
     /// Per-evaluation-point AUC curves across runs (empty for `Local`).
     /// One point per evaluated round; dense when `eval_every == 1`.
     pub auc_curves: CurveRecorder,
@@ -264,6 +275,7 @@ impl Experiment {
             privacy: self.cfg.privacy,
             weighting: self.cfg.weighting,
             faults: self.cfg.faults.clone(),
+            compression: self.cfg.compression,
         };
         FlSystem::new(&self.split.train, &self.split.test, clients, fl_cfg)
     }
@@ -285,6 +297,8 @@ impl Experiment {
         let mut final_mrrs = Vec::with_capacity(self.cfg.runs);
         let mut best_aucs = Vec::with_capacity(self.cfg.runs);
         let mut uplinks = Vec::with_capacity(self.cfg.runs);
+        let mut uplink_scalars = Vec::with_capacity(self.cfg.runs);
+        let mut uplink_bytes = Vec::with_capacity(self.cfg.runs);
         let mut auc_curves = CurveRecorder::new();
         let mut mrr_curves = CurveRecorder::new();
         let mut eval_rounds = Vec::new();
@@ -297,6 +311,8 @@ impl Experiment {
                     final_mrrs.push(local.mrr_summary().mean);
                     best_aucs.push(local.auc_summary().mean);
                     uplinks.push(0.0);
+                    uplink_scalars.push(0.0);
+                    uplink_bytes.push(0.0);
                 }
                 Some(mut protocol) => {
                     let result = match &self.cfg.runtime {
@@ -333,6 +349,8 @@ impl Experiment {
                     final_mrrs.push(result.final_eval.mrr);
                     best_aucs.push(result.best_auc());
                     uplinks.push(result.comm.total_uplink_units() as f64);
+                    uplink_scalars.push(result.comm.total_uplink_scalars() as f64);
+                    uplink_bytes.push(result.comm.total_uplink_bytes() as f64);
                 }
             }
         }
@@ -342,6 +360,8 @@ impl Experiment {
             final_mrr: MeanStd::of(&final_mrrs),
             best_auc: MeanStd::of(&best_aucs),
             uplink_units: MeanStd::of(&uplinks),
+            uplink_scalars: MeanStd::of(&uplink_scalars),
+            uplink_bytes: MeanStd::of(&uplink_bytes),
             auc_curves,
             mrr_curves,
             eval_rounds,
@@ -382,6 +402,7 @@ mod tests {
             weighting: Default::default(),
             privacy: None,
             faults: None,
+            compression: None,
         }
     }
 
@@ -404,7 +425,29 @@ mod tests {
         assert_eq!(res.auc_curves.num_runs(), 2);
         assert_eq!(res.auc_curves.num_rounds(), 2);
         assert!(res.uplink_units.mean > 0.0);
+        assert!(res.uplink_bytes.mean > 0.0);
         assert_eq!(res.name, "FedAvg");
+    }
+
+    #[test]
+    fn compression_shrinks_ledgered_bytes_but_not_units() {
+        let uncompressed =
+            Experiment::new(quick_cfg()).run_framework(&Framework::FedAvg(FedAvg::vanilla()));
+        let q8 = Experiment::new(ExperimentConfig {
+            compression: Some(Compression::QuantI8),
+            ..quick_cfg()
+        })
+        .run_framework(&Framework::FedAvg(FedAvg::vanilla()));
+        // Mask-then-compress: the unit/scalar fan-out is mask-driven and
+        // unchanged, the byte charge drops 4× under i8.
+        assert_eq!(q8.uplink_units.mean, uncompressed.uplink_units.mean);
+        assert_eq!(q8.uplink_scalars.mean, uncompressed.uplink_scalars.mean);
+        assert!(
+            (q8.uplink_bytes.mean - uncompressed.uplink_bytes.mean / 4.0).abs() < 1e-9,
+            "i8 bytes {} vs raw {}",
+            q8.uplink_bytes.mean,
+            uncompressed.uplink_bytes.mean
+        );
     }
 
     #[test]

@@ -60,6 +60,8 @@ mod tests {
             final_mrr: MeanStd::of(&[0.8]),
             best_auc: MeanStd::of(&[0.6]),
             uplink_units: MeanStd::of(&[100.0]),
+            uplink_scalars: MeanStd::of(&[400.0]),
+            uplink_bytes: MeanStd::of(&[1600.0]),
             auc_curves: curves,
             mrr_curves: CurveRecorder::new(),
             eval_rounds: vec![0, 1],

@@ -32,6 +32,7 @@
 //! report *arrives* — never for dropouts, and never for reports still in
 //! flight when the run ends.
 
+use crate::compress::{decode_arrival, Compressor, Delta, InFlight, UplinkCharge};
 use crate::events::{EventSink, RoundEvent};
 use crate::faults::{
     corrupt_return, detect_rejection, FaultEffect, FaultKind, FaultObserved, FaultPlan,
@@ -42,6 +43,7 @@ use crate::system::{ActivationSnapshot, ClientReturn, FlSystem, RoundEval, RunRe
 use crate::WeightedReturn;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the buffered-asynchronous aggregation rule.
@@ -97,9 +99,9 @@ struct VersionState {
     /// Structured fault/staleness records observed since the last
     /// aggregation.
     observations: Vec<FaultObserved>,
-    /// Masks of the reports that arrived since the last aggregation
-    /// (uplink is charged at arrival).
-    uplink_masks: Vec<Vec<bool>>,
+    /// Ledger charges of the reports that arrived since the last
+    /// aggregation (uplink is charged at arrival, at the compressed size).
+    charges: Vec<UplinkCharge>,
     /// Wall-clock start of the version (telemetry only).
     started: Instant,
 }
@@ -110,7 +112,7 @@ impl VersionState {
             wave: Vec::new(),
             mask_density: 0.0,
             observations: Vec::new(),
-            uplink_masks: Vec::new(),
+            charges: Vec::new(),
             // fedda-lint: allow(wall-clock, reason = "version wall-time telemetry only; never feeds selection, masking, aggregation or any logged curve")
             started: Instant::now(),
         }
@@ -167,6 +169,11 @@ impl<'a> AsyncDriver<'a> {
             fc.validate()
                 .map_err(|e| format!("invalid fault configuration: {e}"))?;
         }
+        if let Some(c) = &system.config().compression {
+            c.validate()
+                .map_err(|e| format!("invalid compression configuration: {e}"))?;
+        }
+        let compressor = system.config().compression.map(|c| c.build());
         let rounds = system.config().rounds;
         let eval_every = system.config().eval_every.max(1);
         let mut rng = StdRng::seed_from_u64(system.config().seed ^ protocol.seed_tweak());
@@ -193,6 +200,7 @@ impl<'a> AsyncDriver<'a> {
                     protocol,
                     &mut rng,
                     &plan,
+                    compressor.as_deref(),
                     version,
                     &mut sched,
                     &mut in_flight,
@@ -201,11 +209,16 @@ impl<'a> AsyncDriver<'a> {
                 dispatched = true;
             }
             if !mailbox.is_full() {
-                if let Some((_tick, d)) = sched.pop() {
+                if let Some((_tick, mut d)) = sched.pop() {
                     in_flight[d.client] = false;
+                    // Decompress at the server arrival point — stale
+                    // arrivals carried their compressed payload across
+                    // versions and decode against their dispatch-time
+                    // broadcast.
+                    decode_arrival(&mut d);
                     // Uplink is charged at arrival — dropouts and
                     // reports the run outlives are never charged.
-                    state.uplink_masks.push(d.mask.clone());
+                    state.charges.push(d.charge);
                     if let Some(fc) = &fault_cfg {
                         if let Some(effect) = detect_rejection(&d.ret, fc) {
                             state.observations.push(FaultObserved {
@@ -272,6 +285,7 @@ fn dispatch_wave(
     protocol: &mut dyn FlProtocol,
     rng: &mut StdRng,
     plan: &Option<FaultPlan>,
+    compressor: Option<&(dyn Compressor + Send + Sync)>,
     version: usize,
     sched: &mut Scheduler<Delivery>,
     in_flight: &mut [bool],
@@ -287,7 +301,9 @@ fn dispatch_wave(
         .copied()
         .filter(|&c| plan.as_ref().and_then(|p| p.fault_at(version, c)) != Some(FaultKind::Dropout))
         .collect();
-    let broadcast = plan.as_ref().map(|_| system.global.clone());
+    let broadcast =
+        (plan.is_some() || compressor.is_some()).then(|| Arc::new(system.global.clone()));
+    let sizes = system.unit_sizes();
     let penalties: Vec<_> = reporting
         .iter()
         .map(|&c| protocol.local_regularizer(system, c, version))
@@ -321,6 +337,28 @@ fn dispatch_wave(
             Some(FaultKind::Dropout) => unreachable!("dropouts filtered above"),
             None => 1,
         };
+        // Mask-then-compress against this version's broadcast; the report
+        // carries its compressed payload (and its reference) across however
+        // many versions its latency spans.
+        let mask = masks[pos].clone();
+        let (charge, payload) = match (compressor, &broadcast) {
+            (Some(comp), Some(reference)) => {
+                let report = comp.compress(&Delta {
+                    updated: &ret.params,
+                    reference,
+                    mask: &mask,
+                });
+                let charge = report.charge();
+                (
+                    charge,
+                    Some(InFlight {
+                        report,
+                        reference: Arc::clone(reference),
+                    }),
+                )
+            }
+            _ => (UplinkCharge::from_mask(&mask, &sizes), None),
+        };
         in_flight[client] = true;
         sched.schedule_after(
             latency,
@@ -329,7 +367,9 @@ fn dispatch_wave(
                 dispatch_pos: pos,
                 dispatch_round: version,
                 ret,
-                mask: masks[pos].clone(),
+                mask,
+                charge,
+                payload,
             },
         );
     }
@@ -359,7 +399,7 @@ fn aggregate_version(
         wave,
         mask_density,
         observations,
-        uplink_masks,
+        charges,
         started,
     } = state;
     let buffered = mailbox.drain();
@@ -372,10 +412,11 @@ fn aggregate_version(
         })
         .collect();
     system.aggregate_weighted(&contributions);
-    let comm = system.round_comm_parts(wave.len(), &uplink_masks);
+    let comm = system.round_comm_charges(wave.len(), &charges);
     // Same ledger rule as the sync facade: versions that neither broadcast
-    // nor received anything (the Global baseline) stay off the log.
-    if !wave.is_empty() || comm.uplink_units > 0 {
+    // nor received any *charged* traffic stay off the log — a stale report
+    // the codec compressed away entirely moved no bytes.
+    if !wave.is_empty() || comm.has_uplink() {
         result.comm.push(comm);
     }
     // The protocol's fault hook keeps its sync-driver contract: only

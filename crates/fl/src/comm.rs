@@ -23,10 +23,22 @@ pub struct RoundComm {
     pub uplink_units: usize,
     /// Scalars uploaded by clients.
     pub uplink_scalars: usize,
+    /// Uplink payload bytes on the wire — `4 × uplink_scalars` on the
+    /// uncompressed path, the codec's wire size under
+    /// [`Compression`](crate::Compression).
+    pub uplink_bytes: usize,
     /// Parameter units broadcast to clients.
     pub downlink_units: usize,
     /// Scalars broadcast to clients.
     pub downlink_scalars: usize,
+}
+
+impl RoundComm {
+    /// Whether any uplink traffic was charged this round (units, scalars
+    /// or bytes — a fully-compressed-away report charges none of them).
+    pub fn has_uplink(&self) -> bool {
+        self.uplink_units > 0 || self.uplink_scalars > 0 || self.uplink_bytes > 0
+    }
 }
 
 /// Cumulative communication log of one federated run.
@@ -62,6 +74,11 @@ impl CommLog {
         self.rounds.iter().map(|r| r.uplink_scalars).sum()
     }
 
+    /// Total uplink payload bytes — the AUC-vs-bytes frontier's x axis.
+    pub fn total_uplink_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.uplink_bytes).sum()
+    }
+
     /// Total downlink units.
     pub fn total_downlink_units(&self) -> usize {
         self.rounds.iter().map(|r| r.downlink_units).sum()
@@ -90,6 +107,7 @@ mod tests {
             active_clients: 4,
             uplink_units: 260,
             uplink_scalars: 1000,
+            uplink_bytes: 4000,
             downlink_units: 260,
             downlink_scalars: 1000,
         });
@@ -97,15 +115,31 @@ mod tests {
             active_clients: 2,
             uplink_units: 100,
             uplink_scalars: 400,
+            uplink_bytes: 1600,
             downlink_units: 130,
             downlink_scalars: 500,
         });
         assert_eq!(log.total_uplink_units(), 360);
         assert_eq!(log.total_uplink_scalars(), 1400);
+        assert_eq!(log.total_uplink_bytes(), 5600);
         assert_eq!(log.total_downlink_units(), 390);
         assert_eq!(log.total_activations(), 6);
         assert_eq!(log.uplink_units_through(1), 260);
         assert_eq!(log.uplink_units_through(10), 360);
+    }
+
+    #[test]
+    fn has_uplink_checks_every_counter() {
+        assert!(!RoundComm::default().has_uplink());
+        for (u, s, b) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+            let rc = RoundComm {
+                uplink_units: u,
+                uplink_scalars: s,
+                uplink_bytes: b,
+                ..Default::default()
+            };
+            assert!(rc.has_uplink(), "{rc:?}");
+        }
     }
 
     #[test]

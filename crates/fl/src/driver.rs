@@ -21,6 +21,7 @@
 //! to it; [`AsyncDriver`](crate::AsyncDriver) reuses the same runtime with
 //! multi-tick latencies instead.
 
+use crate::compress::{decode_arrival, Compressor, Delta, InFlight, UplinkCharge};
 use crate::events::{EventSink, RoundEvent};
 use crate::faults::{
     corrupt_return, detect_rejection, FaultConfig, FaultEffect, FaultKind, FaultObserved, FaultPlan,
@@ -30,6 +31,7 @@ use crate::runtime::{Delivery, Mailbox, Scheduler, Tick};
 use crate::system::{ActivationSnapshot, FlSystem, RoundEval, RunResult, WeightedReturn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Events of the synchronous simulation: each round dispatches, collects
@@ -93,6 +95,11 @@ impl<'a> RoundDriver<'a> {
             fc.validate()
                 .map_err(|e| format!("invalid fault configuration: {e}"))?;
         }
+        if let Some(c) = &system.config().compression {
+            c.validate()
+                .map_err(|e| format!("invalid compression configuration: {e}"))?;
+        }
+        let compressor = system.config().compression.map(|c| c.build());
         let rounds = system.config().rounds;
         let eval_every = system.config().eval_every.max(1);
         let mut rng = StdRng::seed_from_u64(system.config().seed ^ protocol.seed_tweak());
@@ -124,11 +131,23 @@ impl<'a> RoundDriver<'a> {
             match event {
                 SimEvent::Dispatch { round } => {
                     let st = dispatch_round(
-                        system, protocol, &mut rng, &plan, round, rounds, &mut sched,
+                        system,
+                        protocol,
+                        &mut rng,
+                        &plan,
+                        compressor.as_deref(),
+                        round,
+                        rounds,
+                        &mut sched,
                     );
                     state = Some(st);
                 }
-                SimEvent::Arrival(delivery) => mailbox.push(delivery),
+                SimEvent::Arrival(mut delivery) => {
+                    // Decompress server-side, at the arrival point, before
+                    // any guard or aggregation sees the report.
+                    decode_arrival(&mut delivery);
+                    mailbox.push(delivery);
+                }
                 SimEvent::Seal { round } => {
                     let st = state
                         .take()
@@ -159,11 +178,13 @@ impl<'a> RoundDriver<'a> {
 /// report that will ever arrive — fresh ones at this tick, held straggler
 /// reports at their arrival tick (reports landing after the run ends are
 /// dropped on the floor and never charged).
+#[allow(clippy::too_many_arguments)]
 fn dispatch_round(
     system: &mut FlSystem,
     protocol: &mut dyn FlProtocol,
     rng: &mut StdRng,
     plan: &Option<FaultPlan>,
+    compressor: Option<&(dyn Compressor + Send + Sync)>,
     round: usize,
     rounds: usize,
     sched: &mut Scheduler<SimEvent>,
@@ -182,7 +203,11 @@ fn dispatch_round(
         .copied()
         .filter(|&c| plan.as_ref().and_then(|p| p.fault_at(round, c)) != Some(FaultKind::Dropout))
         .collect();
-    let broadcast = plan.as_ref().map(|_| system.global.clone());
+    // Materialised whenever corruption may need it or the compressor needs
+    // a dispatch-time reference to encode (and later decode) against.
+    let broadcast =
+        (plan.is_some() || compressor.is_some()).then(|| Arc::new(system.global.clone()));
+    let sizes = system.unit_sizes();
     let penalties: Vec<_> = reporting
         .iter()
         .map(|&c| protocol.local_regularizer(system, c, round))
@@ -234,6 +259,29 @@ fn dispatch_round(
             Some(FaultKind::Dropout) => unreachable!("dropouts filtered above"),
             None => round as Tick,
         };
+        // Mask-then-compress: the protocol's mask picked the units, the
+        // codec now prices them. Corruption was injected above, so a
+        // corrupted report flows *through* the codec and the server guard
+        // judges the decompressed bytes.
+        let mask = masks[pos].clone();
+        let (charge, payload) = match (compressor, &broadcast) {
+            (Some(comp), Some(reference)) => {
+                let report = comp.compress(&Delta {
+                    updated: &ret.params,
+                    reference,
+                    mask: &mask,
+                });
+                let charge = report.charge();
+                (
+                    charge,
+                    Some(InFlight {
+                        report,
+                        reference: Arc::clone(reference),
+                    }),
+                )
+            }
+            _ => (UplinkCharge::from_mask(&mask, &sizes), None),
+        };
         sched.schedule_at(
             arrival_tick,
             SimEvent::Arrival(Delivery {
@@ -241,7 +289,9 @@ fn dispatch_round(
                 dispatch_pos: pos,
                 dispatch_round: round,
                 ret,
-                mask: masks[pos].clone(),
+                mask,
+                charge,
+                payload,
             }),
         );
     }
@@ -292,9 +342,9 @@ fn seal_round(
 
     let mut observations: Vec<FaultObserved> = Vec::new();
     let mut survivors: Vec<Delivery> = Vec::new();
-    let mut uplink_masks: Vec<Vec<bool>> = Vec::new();
+    let mut charges: Vec<UplinkCharge> = Vec::new();
     for d in fresh {
-        uplink_masks.push(d.mask.clone());
+        charges.push(d.charge);
         // The server-side guard applies to every arriving report, so even
         // un-injected non-finite updates are caught here.
         let rejection = fault_cfg
@@ -316,7 +366,7 @@ fn seal_round(
     let mut stale: Vec<(Delivery, f64)> = Vec::new();
     for d in stale_in {
         let staleness = round - d.dispatch_round;
-        uplink_masks.push(d.mask.clone());
+        charges.push(d.charge);
         if let Some(fc) = fault_cfg {
             if let Some(effect) = detect_rejection(&d.ret, fc) {
                 observations.push(FaultObserved {
@@ -364,12 +414,16 @@ fn seal_round(
         }))
         .collect();
     system.aggregate_weighted(&contributions);
-    let comm = system.round_comm_parts(active.len(), &uplink_masks);
+    let comm = system.round_comm_charges(active.len(), &charges);
     // Protocols that activate no one (the Global baseline) keep an empty
     // comm log — but a round whose only traffic is a stale straggler
     // arrival still moved bytes, so it stays on the ledger even when
-    // nobody was selected (previously such rounds were silently dropped).
-    if !active.is_empty() || comm.uplink_units > 0 {
+    // nobody was selected. The test is on the *charged* (post-compression)
+    // traffic: a stale report whose codec compressed it away entirely
+    // (top-k with k = 0 everywhere) moved nothing, so it must not
+    // resurrect the round — the pre-compression unit-count test would have
+    // double-counted such rounds onto the ledger.
+    if !active.is_empty() || comm.has_uplink() {
         result.comm.push(comm);
     }
     if !fault_obs.is_empty() {

@@ -105,11 +105,12 @@ impl EventSink for StderrSink {
             flags.push_str(&format!(" !{} fault(s)", event.faults.len()));
         }
         eprintln!(
-            "  r{:03} | active {:2} | density {:.2} | up {:6}u / down {:6}u | {} | {:.1}ms{}",
+            "  r{:03} | active {:2} | density {:.2} | up {:6}u {:8}B / down {:6}u | {} | {:.1}ms{}",
             event.round,
             event.active_clients.len(),
             event.mask_density,
             event.comm.uplink_units,
+            event.comm.uplink_bytes,
             event.comm.downlink_units,
             eval,
             event.wall_ms,
@@ -131,6 +132,7 @@ mod tests {
                 active_clients: 2,
                 uplink_units: 10,
                 uplink_scalars: 100,
+                uplink_bytes: 400,
                 downlink_units: 20,
                 downlink_scalars: 200,
             },

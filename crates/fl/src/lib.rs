@@ -25,7 +25,11 @@
 //! * [`faults`] — deterministic fault injection (client dropout, straggler
 //!   delay, update corruption) with its own RNG stream, structured
 //!   [`FaultObserved`] records and graceful degradation guarantees
-//!   (exercised by the `chaos` test harness).
+//!   (exercised by the `chaos` test harness);
+//! * [`compress`] — the uplink [`Compressor`] stage (lossless `Identity`,
+//!   `i8`/`f16` scalar quantization, magnitude top-k sparsification):
+//!   mask-then-compress at dispatch, decompress at server arrival, with
+//!   the comm ledger charging compressed bytes.
 //!
 //! Every round protocol implements [`FlProtocol`] and executes on the
 //! event-driven simulation [`runtime`] (deterministic virtual clock,
@@ -44,6 +48,7 @@ pub mod analysis;
 mod async_driver;
 pub mod baselines;
 mod comm;
+pub mod compress;
 mod driver;
 mod events;
 pub mod faults;
@@ -59,6 +64,7 @@ mod system;
 pub use async_driver::{AsyncConfig, AsyncDriver, RuntimeMode};
 pub use baselines::GlobalProtocol;
 pub use comm::{CommLog, RoundComm};
+pub use compress::{Compressed, Compression, Compressor, Delta, InFlight, UplinkCharge};
 pub use driver::RoundDriver;
 pub use events::{EventSink, MemorySink, RoundEvent, StderrSink};
 pub use faults::{

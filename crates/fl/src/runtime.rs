@@ -132,10 +132,20 @@ pub struct Delivery {
     /// Round (sync) or server version (async) the report was computed
     /// against.
     pub dispatch_round: usize,
-    /// The client's trained return.
+    /// The client's trained return. When a compressor is configured this
+    /// holds the *pre-compression* values until [`decode_arrival`] swaps in
+    /// the decompressed reconstruction at the server.
+    ///
+    /// [`decode_arrival`]: crate::compress::decode_arrival
     pub ret: ClientReturn,
     /// The unit mask the server requested from this client.
     pub mask: Vec<bool>,
+    /// What this report costs the ledger, computed at dispatch (it is a
+    /// pure function of the report) and charged at arrival.
+    pub charge: crate::compress::UplinkCharge,
+    /// The compressed report plus its dispatch-time broadcast reference;
+    /// `None` when no compressor is configured.
+    pub payload: Option<crate::compress::InFlight>,
 }
 
 /// A bounded buffer of deliveries the server aggregates from.

@@ -4,6 +4,7 @@
 //! masked aggregation (Eq. 6) and global evaluation.
 
 use crate::comm::{CommLog, RoundComm};
+use crate::compress::{Compression, UplinkCharge};
 use crate::faults::{FaultConfig, FaultObserved};
 use crate::protocol::LocalPenalty;
 use fedda_data::ClientData;
@@ -91,6 +92,10 @@ pub struct FlConfig {
     /// corruption); `None` leaves every seeded run bit-identical to a
     /// fault-free driver.
     pub faults: Option<FaultConfig>,
+    /// Optional uplink compression (mask-then-compress at dispatch,
+    /// decompress at server arrival, ledger charged at compressed size);
+    /// `None` keeps the pre-compression code path bit for bit.
+    pub compression: Option<Compression>,
 }
 
 impl Default for FlConfig {
@@ -107,6 +112,7 @@ impl Default for FlConfig {
             privacy: None,
             weighting: AggWeighting::Uniform,
             faults: None,
+            compression: None,
         }
     }
 }
@@ -314,6 +320,16 @@ impl FlSystem {
     /// nothing else in the configuration or the seeded state changes.
     pub fn set_faults(&mut self, faults: Option<FaultConfig>) {
         self.cfg.faults = faults;
+    }
+
+    /// Enable or disable uplink compression on an assembled federation.
+    ///
+    /// Like [`FlSystem::set_faults`], the codec is read by the driver at
+    /// the start of each run: the same seeded system can run uncompressed
+    /// and compressed back to back with nothing else changing — the basis
+    /// of the `Identity` bit-identity pins.
+    pub fn set_compression(&mut self, compression: Option<Compression>) {
+        self.cfg.compression = compression;
     }
 
     /// Replace the local-training hyper-parameters on an assembled
@@ -532,22 +548,39 @@ impl FlSystem {
         uplink_masks: &[Vec<bool>],
     ) -> RoundComm {
         let sizes = self.unit_sizes();
+        let charges: Vec<UplinkCharge> = uplink_masks
+            .iter()
+            .map(|m| UplinkCharge::from_mask(m, &sizes))
+            .collect();
+        self.round_comm_charges(broadcast_clients, &charges)
+    }
+
+    /// Communication counters from per-report ledger charges — the shape
+    /// the drivers use: one [`UplinkCharge`] per report whose bytes
+    /// actually arrived, already priced at the compressed size when a
+    /// [`Compression`] codec is configured. [`FlSystem::round_comm_parts`]
+    /// is the uncompressed special case (`4 × scalars` bytes per mask).
+    pub fn round_comm_charges(
+        &self,
+        broadcast_clients: usize,
+        charges: &[UplinkCharge],
+    ) -> RoundComm {
+        let sizes = self.unit_sizes();
         let n_units = sizes.len();
         let n_scalars: usize = sizes.iter().sum();
         let mut uplink_units = 0usize;
         let mut uplink_scalars = 0usize;
-        for mask in uplink_masks {
-            for (k, &m) in mask.iter().enumerate() {
-                if m {
-                    uplink_units += 1;
-                    uplink_scalars += sizes[k];
-                }
-            }
+        let mut uplink_bytes = 0usize;
+        for c in charges {
+            uplink_units += c.units;
+            uplink_scalars += c.scalars;
+            uplink_bytes += c.bytes;
         }
         RoundComm {
             active_clients: broadcast_clients,
             uplink_units,
             uplink_scalars,
+            uplink_bytes,
             downlink_units: broadcast_clients * n_units,
             downlink_scalars: broadcast_clients * n_scalars,
         }
@@ -723,6 +756,7 @@ pub(crate) mod tests {
             privacy: None,
             weighting: AggWeighting::Uniform,
             faults: None,
+            compression: None,
         };
         FlSystem::new(&split.train, &split.test, clients, cfg)
     }
@@ -977,6 +1011,28 @@ pub(crate) mod tests {
         assert_eq!(rc.downlink_units, 3 * n);
         assert_eq!(rc.uplink_units, n);
         assert_eq!(rc.uplink_scalars, sys.global.num_scalars());
+        // Uncompressed bytes are exactly 4 per f32 scalar.
+        assert_eq!(rc.uplink_bytes, 4 * rc.uplink_scalars);
+        // Charge-based accounting sums per-report charges verbatim.
+        let charged = sys.round_comm_charges(
+            3,
+            &[
+                crate::UplinkCharge {
+                    units: 2,
+                    scalars: 10,
+                    bytes: 20,
+                },
+                crate::UplinkCharge {
+                    units: 1,
+                    scalars: 4,
+                    bytes: 32,
+                },
+            ],
+        );
+        assert_eq!(charged.uplink_units, 3);
+        assert_eq!(charged.uplink_scalars, 14);
+        assert_eq!(charged.uplink_bytes, 52);
+        assert_eq!(charged.downlink_units, 3 * n);
         // And the classic path is the m == reports special case.
         let full = sys.round_comm(&sys.full_masks(3));
         assert_eq!(full, sys.round_comm_parts(3, &sys.full_masks(3)));

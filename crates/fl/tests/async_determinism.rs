@@ -11,8 +11,8 @@
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
 use fedda_fl::{
-    AsyncConfig, AsyncDriver, Corruption, FaultConfig, FedAvg, FedDa, FlConfig, FlSystem,
-    RunResult, StalenessPolicy,
+    AsyncConfig, AsyncDriver, Compression, Corruption, FaultConfig, FedAvg, FedDa, FlConfig,
+    FlSystem, RunResult, StalenessPolicy,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -157,6 +157,60 @@ fn async_fedavg_with_stragglers_is_bit_identical_across_threads_and_workers() {
 #[test]
 fn async_fedda_explore_is_bit_identical_across_threads_and_workers() {
     assert_invariant_under_execution_strategy(1, None, "async FedDA-Explore");
+}
+
+#[test]
+fn async_runs_under_compression_are_bit_identical_across_threads_and_workers() {
+    // Every codec is deterministic and RNG-free, so a compressed run must
+    // be as execution-strategy-independent as an uncompressed one — the
+    // lossy codecs included, whose quantization is pure per-scalar
+    // arithmetic on values the worker pool returns in submission order.
+    let acfg = AsyncConfig { k: 2, gamma: 0.9 };
+    for compression in [
+        Compression::Identity,
+        Compression::QuantI8,
+        Compression::TopK { frac: 0.25 },
+    ] {
+        let run = |workers: Option<usize>, threads: usize| {
+            with_kernel_threads(threads, || {
+                let mut sys = build_system(workers, Some(straggly_faults()));
+                sys.set_compression(Some(compression));
+                let result = AsyncDriver::new(acfg)
+                    .run(&mut FedDa::explore().protocol(), &mut sys)
+                    .expect("async compressed run");
+                fingerprint(&result, &sys)
+            })
+        };
+        let reference = run(Some(1), 1);
+        for (workers, threads) in [(Some(4), 1), (Some(1), 4), (None, 4)] {
+            let other = run(workers, threads);
+            assert_eq!(
+                reference, other,
+                "codec {compression:?} diverged under workers={workers:?}, \
+                 kernel_threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn identity_compression_with_stragglers_matches_uncompressed_async() {
+    // Stale arrivals carry their compressed payload across versions and
+    // decode against the *dispatch-time* broadcast; under the lossless
+    // codec that whole detour must reproduce the uncompressed trajectory
+    // bit for bit, staleness discounting, rejections and all.
+    let acfg = AsyncConfig { k: 2, gamma: 0.9 };
+    let run = |compression: Option<Compression>| {
+        with_kernel_threads(2, || {
+            let mut sys = build_system(Some(2), Some(straggly_faults()));
+            sys.set_compression(compression);
+            let result = AsyncDriver::new(acfg)
+                .run(&mut FedAvg::vanilla(), &mut sys)
+                .expect("async run");
+            fingerprint(&result, &sys)
+        })
+    };
+    assert_eq!(run(None), run(Some(Compression::Identity)));
 }
 
 #[test]

@@ -21,9 +21,9 @@
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
 use fedda_fl::{
-    AsyncConfig, AsyncDriver, Corruption, FaultConfig, FaultEffect, FaultKind, FaultObserved,
-    FaultPlan, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlConfig, FlProtocol, FlSystem, MemorySink,
-    RoundDriver, RunResult, ScriptedFault, StalenessPolicy,
+    AsyncConfig, AsyncDriver, Compression, Corruption, FaultConfig, FaultEffect, FaultKind,
+    FaultObserved, FaultPlan, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlConfig, FlProtocol,
+    FlSystem, MemorySink, RoundDriver, RunResult, ScriptedFault, StalenessPolicy,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -221,15 +221,24 @@ fn check_chaos_invariants(
 
     // Events mirror the comm log (rounds with no active clients keep the
     // comm log empty, as for the Global baseline — unless a stale straggler
-    // arrival moved bytes, which stays on the ledger).
+    // arrival moved bytes, which stays on the ledger). The key is the
+    // driver's own ledger condition: any uplink counter non-zero keeps the
+    // round logged.
     let mut comm_rounds = result.comm.rounds().iter();
     for (i, event) in sink.events.iter().enumerate() {
-        if event.active_clients.is_empty() && event.comm.uplink_units == 0 {
-            assert_eq!(event.comm.uplink_units, 0, "{label}: round {i}");
+        if event.active_clients.is_empty() && !event.comm.has_uplink() {
+            assert_eq!(event.comm.uplink_bytes, 0, "{label}: round {i}");
         } else {
             let rc = comm_rounds.next().expect("comm log entry");
             assert_eq!(&event.comm, rc, "{label}: round {i}: event vs comm log");
         }
+        // These sweeps run uncompressed: the byte ledger is exactly the
+        // historical 4 bytes per masked f32 scalar.
+        assert_eq!(
+            event.comm.uplink_bytes,
+            4 * event.comm.uplink_scalars,
+            "{label}: round {i}: uncompressed byte accounting"
+        );
     }
     assert!(comm_rounds.next().is_none(), "{label}: extra comm rounds");
 
@@ -619,6 +628,179 @@ fn sync_stale_arrival_in_an_inactive_round_stays_on_the_ledger() {
             },
         ]
     );
+}
+
+/// Run protocol `which` under the async runtime (K = 2, γ = 0.9).
+fn run_protocol_async(which: usize, sys: &mut FlSystem) -> RunResult {
+    let acfg = AsyncConfig { k: 2, gamma: 0.9 };
+    match which {
+        0 => AsyncDriver::new(acfg).run(&mut FedAvg::vanilla(), sys),
+        1 => AsyncDriver::new(acfg).run(&mut FedDa::restart().protocol(), sys),
+        2 => AsyncDriver::new(acfg).run(&mut FedDa::explore().protocol(), sys),
+        3 => AsyncDriver::new(acfg).run(&mut FedProx::new(0.01), sys),
+        4 => AsyncDriver::new(acfg).run(&mut FedDyn::new(0.01).protocol(), sys),
+        _ => AsyncDriver::new(acfg).run(&mut FedAdam::new(0.01).protocol(), sys),
+    }
+    .expect("chaos runs use valid configurations")
+}
+
+#[test]
+fn corruption_is_rejected_after_decompression_across_protocols_and_runtimes() {
+    // Compression must not launder corruption into an innocuous update:
+    // a NaN report poisons i8's per-unit scale, maps to NaN halves under
+    // f16, and outranks every finite magnitude under top-k — so the
+    // server's non-finite guard fires on the *decompressed* report exactly
+    // as it does uncompressed, in both runtimes, for every protocol.
+    let fc = FaultConfig {
+        corruption: 0.5,
+        corruption_kind: Corruption::NaN,
+        ..Default::default()
+    };
+    for compression in [
+        Compression::QuantI8,
+        Compression::QuantF16,
+        Compression::TopK { frac: 0.5 },
+    ] {
+        for which in [0usize, 2, 3] {
+            // FedAvg, FedDA-Explore, FedProx.
+            for runtime in ["sync", "async"] {
+                let mut sys = chaos_system(GOLDEN_SEED, Some(fc.clone()));
+                sys.set_compression(Some(compression));
+                let result = match runtime {
+                    "sync" => {
+                        let mut sink = MemorySink::new();
+                        run_protocol(which, &mut sys, &mut sink)
+                    }
+                    _ => run_protocol_async(which, &mut sys),
+                };
+                let label = format!("{} protocol={which} {runtime}", compression.label());
+                let rejections = result
+                    .faults
+                    .iter()
+                    .filter(|f| {
+                        matches!(
+                            f.effect,
+                            FaultEffect::CorruptionRejected { non_finite: true }
+                        )
+                    })
+                    .count();
+                assert!(
+                    rejections > 0,
+                    "{label}: rate 0.5 must reject some corrupted reports"
+                );
+                assert!(
+                    sys.global.flatten().iter().all(|v| v.is_finite()),
+                    "{label}: corruption leaked through the codec into the global model"
+                );
+                assert_eq!(result.curve.len(), ROUNDS, "{label}: all rounds ran");
+            }
+        }
+    }
+}
+
+#[test]
+fn sync_stale_arrival_charges_compressed_bytes() {
+    // The compressed twin of the stale-arrival pin above: under f16 the
+    // straggler's report crosses the round boundary carrying its encoded
+    // payload, and the arrival round's ledger entry charges the
+    // *compressed* wire size — exactly 2 bytes per masked scalar, half
+    // the raw 4.
+    let fc = FaultConfig {
+        staleness: StalenessPolicy::Discount { gamma: 0.5 },
+        scripted: vec![ScriptedFault {
+            round: 0,
+            client: 0,
+            kind: FaultKind::Straggler { delay: 1 },
+        }],
+        ..Default::default()
+    };
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+    sys.set_compression(Some(Compression::QuantF16));
+    let result = RoundDriver::new()
+        .run(&mut FirstRoundOnly, &mut sys)
+        .unwrap();
+    let n = sys.num_units();
+    let logged = result.comm.rounds();
+    assert_eq!(logged.len(), 2, "dispatch round + stale-arrival round");
+    assert_eq!(logged[0].uplink_units, (M - 1) * n);
+    assert_eq!(
+        logged[0].uplink_bytes,
+        2 * logged[0].uplink_scalars,
+        "fresh arrivals charge the f16 rate"
+    );
+    assert_eq!(logged[1].active_clients, 0);
+    assert_eq!(logged[1].uplink_units, n);
+    assert!(logged[1].uplink_scalars > 0);
+    assert_eq!(
+        logged[1].uplink_bytes,
+        2 * logged[1].uplink_scalars,
+        "the stale arrival must charge its compressed byte size"
+    );
+}
+
+#[test]
+fn fully_compressed_away_stale_round_stays_off_the_ledger() {
+    // The accounting bugfix this PR pins: the empty-active-round ledger
+    // condition must key on the *compressed* charge, not the mask. A top-k
+    // fraction too small to keep a single scalar of any unit compresses
+    // the straggler's report away entirely — its arrival round moves zero
+    // bytes, so it must not mint a ledger entry (keyed on the mask it
+    // would have, double-counting a round that charged nothing).
+    let fc = FaultConfig {
+        staleness: StalenessPolicy::Discount { gamma: 0.5 },
+        scripted: vec![ScriptedFault {
+            round: 0,
+            client: 0,
+            kind: FaultKind::Straggler { delay: 1 },
+        }],
+        ..Default::default()
+    };
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+    // Valid (0 < frac ≤ 0.5) but smaller than 1/len for every unit here:
+    // k = floor(frac · len) = 0 everywhere, every payload is empty.
+    sys.set_compression(Some(Compression::TopK { frac: 1e-9 }));
+    let mut sink = MemorySink::new();
+    let result = RoundDriver::with_sink(&mut sink)
+        .run(&mut FirstRoundOnly, &mut sys)
+        .unwrap();
+    let logged = result.comm.rounds();
+    assert_eq!(
+        logged.len(),
+        1,
+        "only the dispatch round may appear: the stale arrival charged nothing"
+    );
+    assert_eq!(logged[0].active_clients, M);
+    assert_eq!(logged[0].uplink_units, 0, "every report compressed away");
+    assert_eq!(logged[0].uplink_scalars, 0);
+    assert_eq!(logged[0].uplink_bytes, 0);
+    assert!(
+        logged[0].downlink_units > 0,
+        "the broadcast still cost a full model per client"
+    );
+    assert_eq!(result.comm.total_uplink_bytes(), 0);
+    // The event stream still reports every round; the arrival round's
+    // comm view is all-zero.
+    assert_eq!(sink.events.len(), ROUNDS);
+    assert!(!sink.events[1].comm.has_uplink());
+}
+
+#[test]
+fn async_full_dropout_under_compression_still_charges_nothing() {
+    // Dropouts transfer nothing whatever the codec: the compressed twin of
+    // the full-dropout pin below, under i8.
+    let fc = FaultConfig::dropout_only(1.0);
+    let mut sys = chaos_system(GOLDEN_SEED, Some(fc));
+    sys.set_compression(Some(Compression::QuantI8));
+    let result = AsyncDriver::new(AsyncConfig::default())
+        .run(&mut FedAvg::vanilla(), &mut sys)
+        .unwrap();
+    assert_eq!(result.curve.len(), ROUNDS);
+    for rc in result.comm.rounds() {
+        assert_eq!(rc.uplink_units, 0, "no report ever arrives");
+        assert_eq!(rc.uplink_scalars, 0);
+        assert_eq!(rc.uplink_bytes, 0);
+    }
+    assert_eq!(result.comm.total_uplink_bytes(), 0);
 }
 
 #[test]

@@ -13,8 +13,8 @@
 
 use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
 use fedda_fl::{
-    baselines, AsyncConfig, AsyncDriver, FedAdam, FedAvg, FedDa, FedDyn, FedProx, FlConfig,
-    FlSystem, RunResult,
+    baselines, AsyncConfig, AsyncDriver, Compression, FedAdam, FedAvg, FedDa, FedDyn, FedProx,
+    FlConfig, FlSystem, RunResult,
 };
 use fedda_hetgraph::split::split_edges;
 use fedda_hgn::{HgnConfig, TrainConfig};
@@ -461,6 +461,96 @@ fn golden_async_fedadam() {
             uplink_units: 250,
         },
     );
+}
+
+/// Run one protocol on the golden federation with and without `Identity`
+/// compression and insist the two runs are byte-for-byte the same — the
+/// whole Compressor stage (encode at dispatch, decode at arrival, charge
+/// accounting) must be invisible under the lossless codec. The only
+/// permitted difference is none at all: even the comm ledger matches,
+/// because `Identity`'s wire cost is exactly the uncompressed 4 bytes per
+/// masked scalar.
+fn assert_identity_is_invisible(name: &str, run: impl Fn(&mut FlSystem) -> RunResult) {
+    let mut plain_sys = golden_system();
+    let plain = run(&mut plain_sys);
+    let mut ident_sys = golden_system();
+    ident_sys.set_compression(Some(Compression::Identity));
+    let ident = run(&mut ident_sys);
+
+    assert_eq!(plain.curve.len(), ident.curve.len(), "{name}: curve length");
+    for (p, i) in plain.curve.iter().zip(&ident.curve) {
+        assert_eq!(p.round, i.round, "{name}: round index");
+        assert_eq!(
+            p.roc_auc.to_bits(),
+            i.roc_auc.to_bits(),
+            "{name}: AUC diverged at round {}",
+            p.round
+        );
+        assert_eq!(
+            p.mrr.to_bits(),
+            i.mrr.to_bits(),
+            "{name}: MRR diverged at round {}",
+            p.round
+        );
+    }
+    assert_eq!(
+        plain.comm.rounds(),
+        ident.comm.rounds(),
+        "{name}: comm ledgers diverged"
+    );
+    for rc in ident.comm.rounds() {
+        assert_eq!(
+            rc.uplink_bytes,
+            4 * rc.uplink_scalars,
+            "{name}: Identity must charge exactly 4 bytes per masked scalar"
+        );
+    }
+    assert_eq!(
+        plain.activation_trace, ident.activation_trace,
+        "{name}: activation traces diverged"
+    );
+    let plain_bits: Vec<u32> = plain_sys
+        .global
+        .flatten()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let ident_bits: Vec<u32> = ident_sys
+        .global
+        .flatten()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(plain_bits, ident_bits, "{name}: final parameters diverged");
+}
+
+#[test]
+fn golden_identity_compression_matches_uncompressed_fedavg() {
+    assert_identity_is_invisible("FedAvg + ident", |sys| FedAvg::vanilla().run(sys));
+}
+
+#[test]
+fn golden_identity_compression_matches_uncompressed_fedda_explore() {
+    assert_identity_is_invisible("FedDA-Explore + ident", |sys| FedDa::explore().run(sys));
+}
+
+#[test]
+fn golden_identity_compression_matches_uncompressed_async() {
+    // The async runtime's own arrival path (staleness weighting, buffered
+    // aggregation) must be equally blind to the lossless codec.
+    for (name, which) in [
+        ("async FedAvg + ident", 0usize),
+        ("async FedDA-Explore + ident", 1),
+    ] {
+        assert_identity_is_invisible(name, |sys| {
+            let acfg = AsyncConfig { k: 2, gamma: 0.9 };
+            match which {
+                0 => AsyncDriver::new(acfg).run(&mut FedAvg::vanilla(), sys),
+                _ => AsyncDriver::new(acfg).run(&mut FedDa::explore().protocol(), sys),
+            }
+            .expect("golden async run")
+        });
+    }
 }
 
 #[test]

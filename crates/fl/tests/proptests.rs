@@ -1,17 +1,26 @@
 //! Property-based tests of the FL layer's pure logic: the analytic
 //! communication model, the comm accounting, the fault-injection
-//! configuration/renormalisation rules, and the protocol-zoo math helpers
-//! (FedProx proximal term, FedDyn h update, FedAdam moment update).
+//! configuration/renormalisation rules, the protocol-zoo math helpers
+//! (FedProx proximal term, FedDyn h update, FedAdam moment update), and
+//! the uplink compression codecs' error bounds and byte accounting.
 
 use fedda_fl::analysis::{
     explore_expected_units, explore_ratio_bound, restart_expected_units, restart_period,
     restart_ratio, EfficiencyInputs,
 };
+use fedda_fl::compress::{k_of, top_k_positions, Identity, Payload, QuantF16, QuantI8, TopK};
 use fedda_fl::{
     feddyn::update_h, fedopt::adam_update, fedprox::proximal_term, renormalize, CommLog,
-    Corruption, FaultConfig, FaultPlan, RoundComm, StalenessPolicy,
+    Compressor, Corruption, FaultConfig, FaultPlan, RoundComm, StalenessPolicy,
 };
 use proptest::prelude::*;
+
+/// Matched `(updated, reference)` slices of the same length — one unit's
+/// worth of parameters as the codecs see them.
+fn unit_strategy() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..64)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
 
 fn inputs_strategy() -> impl Strategy<Value = EfficiencyInputs> {
     (2usize..64, 10usize..200, 0.05f64..0.99, 0.0f64..0.99).prop_flat_map(|(m, n, r_c, r_p)| {
@@ -211,20 +220,24 @@ proptest! {
         let mut units = 0usize;
         let mut scalars = 0usize;
         let mut activations = 0usize;
+        let mut bytes = 0usize;
         for &(clients, u, s) in &rounds {
             log.push(RoundComm {
                 active_clients: clients,
                 uplink_units: u,
                 uplink_scalars: s,
+                uplink_bytes: s * 4,
                 downlink_units: u * 2,
                 downlink_scalars: s * 2,
             });
             units += u;
             scalars += s;
+            bytes += s * 4;
             activations += clients;
         }
         prop_assert_eq!(log.total_uplink_units(), units);
         prop_assert_eq!(log.total_uplink_scalars(), scalars);
+        prop_assert_eq!(log.total_uplink_bytes(), bytes);
         prop_assert_eq!(log.total_activations(), activations);
         prop_assert_eq!(log.total_downlink_units(), units * 2);
         prop_assert_eq!(log.uplink_units_through(rounds.len() + 5), units);
@@ -305,5 +318,163 @@ proptest! {
             m = m_next;
             v = v_next;
         }
+    }
+
+    #[test]
+    fn identity_compress_decompress_is_bit_exact(unit in unit_strategy()) {
+        let (updated, reference) = unit;
+        // decompress ∘ compress = id, down to the bit pattern: Identity
+        // transmits the raw f32 bits of every masked scalar.
+        let p = Identity.encode_unit(&updated, &reference);
+        let mut out = reference.clone();
+        p.decode_into(&mut out);
+        for (got, want) in out.iter().zip(&updated) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // And doing it twice changes nothing (idempotence on the decoded
+        // values).
+        let p2 = Identity.encode_unit(&out, &reference);
+        prop_assert_eq!(&p2, &p);
+    }
+
+    #[test]
+    fn i8_round_trip_error_is_within_half_a_quantization_step(
+        unit in unit_strategy(),
+    ) {
+        let (updated, reference) = unit;
+        // Rounding to the nearest of 255 codes puts every scalar within
+        // scale/2 of its true delta (scale = max|delta|/127); the decoded
+        // value then differs from the updated one by at most that plus
+        // f32 arithmetic slack.
+        let p = QuantI8.encode_unit(&updated, &reference);
+        let scale = match &p {
+            Payload::I8 { scale, .. } => *scale,
+            other => return Err(TestCaseError::fail(format!("wrong payload {other:?}"))),
+        };
+        prop_assert!(scale.is_finite() && scale >= 0.0);
+        let mut out = reference.clone();
+        p.decode_into(&mut out);
+        let bound = f64::from(scale) * 0.5 + 1e-4;
+        for (i, (got, want)) in out.iter().zip(&updated).enumerate() {
+            let err = (f64::from(*got) - f64::from(*want)).abs();
+            prop_assert!(err <= bound, "scalar {i}: |{got} - {want}| = {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn f16_round_trip_error_is_within_half_an_ulp(
+        unit in unit_strategy(),
+    ) {
+        let (updated, reference) = unit;
+        // Round-to-nearest-even: the encoded delta is within half a
+        // binary16 ULP of the true delta — relative 2^-11 for normals,
+        // absolute 2^-25 in the subnormal range.
+        let p = QuantF16.encode_unit(&updated, &reference);
+        let mut out = reference.clone();
+        p.decode_into(&mut out);
+        for (i, ((&got, &up), &rf)) in out.iter().zip(&updated).zip(&reference).enumerate() {
+            let delta = f64::from(up) - f64::from(rf);
+            let bound = delta.abs() / 2048.0 + f64::from(f32::from_bits(0x3300_0000)) // 2^-25
+                // decoding adds the reference back in f32, costing at most
+                // half an ULP of the result's magnitude.
+                + f64::from(got.abs().max(rf.abs())) * f64::from(f32::EPSILON);
+            let err = (f64::from(got) - f64::from(up)).abs();
+            prop_assert!(err <= bound, "scalar {i}: |{got} - {up}| = {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn topk_keeps_exactly_the_k_largest_magnitudes(
+        unit in unit_strategy(),
+        frac in 0.01f64..=0.5,
+    ) {
+        let (updated, reference) = unit;
+        let deltas: Vec<f32> = updated
+            .iter()
+            .zip(&reference)
+            .map(|(&u, &r)| u - r)
+            .collect();
+        let k = k_of(frac, deltas.len());
+        let kept = top_k_positions(&deltas, k);
+        prop_assert_eq!(kept.len(), k);
+        // Deterministic: same input, same selection.
+        prop_assert_eq!(&top_k_positions(&deltas, k), &kept);
+        // Every kept magnitude dominates every dropped one; on an exact
+        // tie the kept index is the smaller (the documented tie-break).
+        let kept_set: Vec<bool> = {
+            let mut s = vec![false; deltas.len()];
+            for &i in &kept {
+                s[i] = true;
+            }
+            s
+        };
+        for &i in &kept {
+            for (j, &in_kept) in kept_set.iter().enumerate() {
+                if !in_kept {
+                    let ord = deltas[i].abs().total_cmp(&deltas[j].abs());
+                    prop_assert!(
+                        ord == std::cmp::Ordering::Greater
+                            || (ord == std::cmp::Ordering::Equal && i < j),
+                        "kept |{}|@{i} loses to dropped |{}|@{j}",
+                        deltas[i], deltas[j]
+                    );
+                }
+            }
+        }
+        // The encoded payload agrees with the selection and decodes the
+        // kept coordinates exactly (raw f32 bits of the delta).
+        let p = TopK { frac }.encode_unit(&updated, &reference);
+        prop_assert_eq!(p.num_entries(), k);
+        let mut out = reference.clone();
+        p.decode_into(&mut out);
+        for (i, &in_kept) in kept_set.iter().enumerate() {
+            if in_kept {
+                prop_assert_eq!(out[i].to_bits(), (reference[i] + deltas[i]).to_bits());
+            } else {
+                prop_assert_eq!(out[i].to_bits(), reference[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_bytes_are_exact_per_codec_and_never_exceed_raw(
+        unit in unit_strategy(),
+        frac in 0.01f64..=0.5,
+    ) {
+        let (updated, reference) = unit;
+        let n = updated.len();
+        let raw_bytes = 4 * n;
+        for (name, p) in [
+            ("ident", Identity.encode_unit(&updated, &reference)),
+            ("q8", QuantI8.encode_unit(&updated, &reference)),
+            ("f16", QuantF16.encode_unit(&updated, &reference)),
+            ("topk", TopK { frac }.encode_unit(&updated, &reference)),
+        ] {
+            let expected = match &p {
+                Payload::Raw(v) => 4 * v.len(),
+                Payload::F16(v) => 2 * v.len(),
+                Payload::I8 { codes, .. } => codes.len(),
+                Payload::TopK(v) => 8 * v.len(),
+            };
+            prop_assert_eq!(p.wire_bytes(), expected, "{}", name);
+            prop_assert!(
+                p.wire_bytes() <= raw_bytes,
+                "{name}: {} > raw {raw_bytes}", p.wire_bytes()
+            );
+        }
+        // The exact ratios on dense codecs.
+        prop_assert_eq!(Identity.encode_unit(&updated, &reference).wire_bytes(), raw_bytes);
+        prop_assert_eq!(
+            QuantF16.encode_unit(&updated, &reference).wire_bytes(),
+            raw_bytes / 2
+        );
+        prop_assert_eq!(
+            QuantI8.encode_unit(&updated, &reference).wire_bytes(),
+            raw_bytes / 4
+        );
+        prop_assert_eq!(
+            TopK { frac }.encode_unit(&updated, &reference).wire_bytes(),
+            8 * k_of(frac, n)
+        );
     }
 }

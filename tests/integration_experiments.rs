@@ -33,6 +33,7 @@ fn quick(dataset: Dataset, seed: u64) -> ExperimentConfig {
         seed,
         parallel: true,
         workers: None,
+        compression: None,
         runtime: Default::default(),
         iid: false,
         weighting: Default::default(),

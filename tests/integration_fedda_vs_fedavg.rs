@@ -30,6 +30,7 @@ fn cfg(dataset: Dataset, clients: usize, rounds: usize, seed: u64) -> Experiment
         seed,
         parallel: true,
         workers: None,
+        compression: None,
         runtime: Default::default(),
         iid: false,
         weighting: Default::default(),

@@ -51,6 +51,7 @@ fn full_pipeline_runs_and_improves_over_initialization() {
         seed: 4,
         parallel: true,
         workers: None,
+        compression: None,
         privacy: None,
         weighting: AggWeighting::Uniform,
         faults: None,
@@ -94,6 +95,7 @@ fn iid_and_non_iid_partitions_flow_through_the_system() {
             seed: 8,
             parallel: false,
             workers: None,
+            compression: None,
             privacy: None,
             weighting: AggWeighting::Uniform,
             faults: None,
@@ -125,6 +127,7 @@ fn global_model_parameters_stay_finite_across_rounds() {
         seed: 12,
         parallel: true,
         workers: None,
+        compression: None,
         privacy: None,
         weighting: AggWeighting::Uniform,
         faults: None,
