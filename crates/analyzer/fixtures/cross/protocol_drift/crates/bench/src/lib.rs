@@ -1,0 +1,10 @@
+//! Cross fixture: `parse_framework` has a `ghost` arm the README zoo
+//! table never documents.
+
+pub fn parse_framework(name: &str) -> Result<Framework, String> {
+    match name {
+        "good" => Ok(Framework::Good),
+        "ghost" => Ok(Framework::Good),
+        other => Err(format!("unknown framework {other}")),
+    }
+}

@@ -1,0 +1,13 @@
+//! Cross fixture: the factory only knows `GoodProtocol`.
+
+pub enum Framework {
+    Good,
+}
+
+impl Framework {
+    pub fn protocol(&self) -> GoodProtocol {
+        match self {
+            Framework::Good => GoodProtocol::new(),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Cross fixture: a fully-wired protocol — factory variant, parse arm,
+//! README row, sync + async golden pins, chaos sweep. Produces nothing.
+
+pub struct GoodProtocol;
+
+impl GoodProtocol {
+    pub fn new() -> Self {
+        GoodProtocol
+    }
+}
+
+impl FlProtocol for GoodProtocol {
+    fn seed_tweak(&self) -> u64 {
+        0x600D
+    }
+}

@@ -1,0 +1,11 @@
+//! Cross fixture: an `FlProtocol` impl nobody wired up — not reachable
+//! from the `Framework` factory, no sync pin, no async pin, never swept
+//! by the chaos harness. Exactly four findings, all anchored here.
+
+pub struct OrphanProtocol;
+
+impl FlProtocol for OrphanProtocol {
+    fn seed_tweak(&self) -> u64 {
+        0x0DD1
+    }
+}

@@ -1,0 +1,5 @@
+//! Cross fixture: the chaos sweep only exercises `GoodProtocol`.
+
+fn sweep() {
+    run_chaos(GoodProtocol::new());
+}

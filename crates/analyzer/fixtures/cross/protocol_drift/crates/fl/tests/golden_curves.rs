@@ -1,0 +1,13 @@
+//! Cross fixture: sync and async pins for `GoodProtocol` only.
+
+#[test]
+fn golden_good_sync() {
+    let curve = run(GoodProtocol::new());
+    assert_curve(curve);
+}
+
+#[test]
+fn golden_good_async() {
+    let curve = AsyncDriver::new().run(GoodProtocol::new());
+    assert_curve(curve);
+}

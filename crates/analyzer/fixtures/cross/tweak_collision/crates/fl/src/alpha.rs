@@ -1,0 +1,6 @@
+//! Cross fixture: derives a stream with a literal tweak that `beta.rs`
+//! also uses — the D6 registry must flag both sites.
+
+pub fn alpha_stream(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xBAD_CAFE)
+}

@@ -1,0 +1,6 @@
+//! Cross fixture: second, supposedly independent stream reusing
+//! `alpha.rs`'s tweak value — perfectly correlated with it.
+
+pub fn beta_stream(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xBAD_CAFE)
+}

@@ -1,0 +1,952 @@
+//! A lightweight cross-file index over the workspace, built on the lexer's
+//! masked output — no parser dependency, same `file:line:col` coordinates as
+//! the per-line rules.
+//!
+//! The index extracts exactly what the cross-file rule families need:
+//!
+//! * items: `impl <Trait> for <Type>` blocks, `fn` definitions (with owner
+//!   and return type), `const` integer definitions, `enum` variants;
+//! * RNG-stream derivations: every `seed_from_u64(…)` call site with the
+//!   hex-literal tweaks and `UPPER_CASE` constant references appearing in
+//!   its argument (rule D6's raw material);
+//! * registry tables: `#[test]` functions with the identifiers they
+//!   reference (golden-pin detection), and string literals in match-arm
+//!   position (`"fedavg" => …`, the `parse_framework` zoo);
+//! * per-file identifier sets, split into test and non-test code, for
+//!   cheap reachability queries.
+//!
+//! Everything is positional: each extracted item carries the file index and
+//! 1-based line/col of its defining token, so cross-file findings anchor to
+//! real source locations where suppressions can reach them.
+
+use crate::lexer::{mask, test_spans, Masked};
+
+/// One token of masked code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer or float literal (verbatim text, suffix included).
+    Num,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// A token with its position in the masked code.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Verbatim text (single char for punctuation).
+    pub text: String,
+    /// Byte offset in the masked code.
+    pub start: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (characters).
+    pub col: usize,
+}
+
+/// Tokenize masked code (strings/comments are already blanked, so this is a
+/// whitespace-and-punctuation split with position tracking).
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let chars: Vec<(usize, char)> = code.char_indices().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (at, c) = chars[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let (sl, sc) = (line, col);
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].1.is_alphanumeric() || chars[i].1 == '_') {
+                text.push(chars[i].1);
+                col += 1;
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                start: at,
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (sl, sc) = (line, col);
+            let mut text = String::new();
+            // Numeric literal: digits, hex/binary prefixes and digits,
+            // underscores, type suffixes (consumed as part of the token).
+            while i < chars.len()
+                && (chars[i].1.is_alphanumeric() || chars[i].1 == '_' || chars[i].1 == '.')
+            {
+                // A second dot means a range expression (`0..n`), not a
+                // float — stop before it.
+                if chars[i].1 == '.'
+                    && (text.contains('.') || chars.get(i + 1).map(|t| t.1) == Some('.'))
+                {
+                    break;
+                }
+                text.push(chars[i].1);
+                col += 1;
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                start: at,
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            start: at,
+            line,
+            col,
+        });
+        col += 1;
+        i += 1;
+    }
+    toks
+}
+
+/// Parse an integer literal token (`0x…`, `0b…`, decimal, underscores and
+/// type suffixes allowed). Returns `None` for floats / malformed text.
+pub fn int_value(text: &str) -> Option<u128> {
+    let t = text.replace('_', "");
+    let t = t
+        .trim_end_matches("u8")
+        .trim_end_matches("u16")
+        .trim_end_matches("u32")
+        .trim_end_matches("u64")
+        .trim_end_matches("u128")
+        .trim_end_matches("usize")
+        .trim_end_matches("i8")
+        .trim_end_matches("i16")
+        .trim_end_matches("i32")
+        .trim_end_matches("i64")
+        .trim_end_matches("i128")
+        .trim_end_matches("isize");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u128::from_str_radix(hex, 16).ok();
+    }
+    if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        return u128::from_str_radix(bin, 2).ok();
+    }
+    t.parse().ok()
+}
+
+/// Does `name` look like an `UPPER_CASE` constant reference?
+pub fn is_const_name(name: &str) -> bool {
+    name.len() > 1
+        && name.chars().any(|c| c.is_ascii_uppercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// A `const NAME: <int> = <literal>;` definition.
+#[derive(Clone, Debug)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// Parsed integer value.
+    pub value: u128,
+    /// Whether the literal was written in hexadecimal (tweak convention).
+    pub hex: bool,
+    /// File index into [`WorkspaceIndex::files`].
+    pub file: usize,
+    /// 1-based line of the name token.
+    pub line: usize,
+}
+
+/// An `impl <Trait> for <Type>` (or inherent `impl <Type>`) block.
+#[derive(Clone, Debug)]
+pub struct ImplBlock {
+    /// Last path segment of the implemented trait, if any.
+    pub trait_name: Option<String>,
+    /// Last path segment of the implementing type.
+    pub type_name: String,
+    /// File index.
+    pub file: usize,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// 1-based column of the `impl` keyword.
+    pub col: usize,
+    /// Byte range of the block body in the masked code (braces included).
+    pub body: (usize, usize),
+}
+
+/// A `fn` definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Implementing type of the enclosing `impl` block, if any.
+    pub owner: Option<String>,
+    /// Trait of the enclosing `impl` block, if any.
+    pub owner_trait: Option<String>,
+    /// Identifier tokens of the return type (empty when none).
+    pub ret: Vec<String>,
+    /// File index.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based column of the `fn` keyword.
+    pub col: usize,
+    /// Byte range of the body in the masked code; `None` for trait
+    /// signatures without a default body.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `seed_from_u64(…)` call site and the stream tweaks in its argument.
+#[derive(Clone, Debug)]
+pub struct RngSite {
+    /// Hex-literal tweak values appearing in the argument expression.
+    pub tweaks: Vec<u128>,
+    /// `UPPER_CASE` constant names referenced in the argument expression.
+    pub const_refs: Vec<String>,
+    /// File index.
+    pub file: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// 1-based column of the call.
+    pub col: usize,
+    /// Whether the site is inside a `#[cfg(test)]` / `#[test]` span.
+    pub in_test: bool,
+}
+
+/// A `#[test]` function with the identifiers its body references.
+#[derive(Clone, Debug)]
+pub struct TestFn {
+    /// Test function name.
+    pub name: String,
+    /// Every identifier token in the body.
+    pub refs: std::collections::BTreeSet<String>,
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// A string literal in match-arm position (`"name" => …`).
+#[derive(Clone, Debug)]
+pub struct ArmStr {
+    /// Literal contents.
+    pub value: String,
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Byte offset of the literal start in the masked code.
+    pub start: usize,
+    /// Whether the arm is inside a test span.
+    pub in_test: bool,
+}
+
+/// An `enum` definition with its variants.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// `(variant, line)` pairs in declaration order.
+    pub variants: Vec<(String, usize)>,
+    /// File index.
+    pub file: usize,
+    /// 1-based line of the enum name.
+    pub line: usize,
+    /// 1-based column of the enum name.
+    pub col: usize,
+}
+
+/// Everything indexed from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileIndex {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Identifiers referenced outside test spans.
+    pub idents: std::collections::BTreeSet<String>,
+    /// Identifiers referenced anywhere in the file (test code included).
+    pub all_idents: std::collections::BTreeSet<String>,
+    /// Hex integer literals with `(value, masked byte offset, line)`.
+    pub hex_lits: Vec<(u128, usize, usize)>,
+    /// Every identifier occurrence with its masked byte offset (test code
+    /// included) — raw material for body-scoped reference queries.
+    pub ident_refs: Vec<(String, usize)>,
+    /// `A::B` qualified references outside test spans.
+    pub qualified_refs: std::collections::BTreeSet<(String, String)>,
+}
+
+/// The workspace-level cross-file index.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Per-file identifier summaries.
+    pub files: Vec<FileIndex>,
+    /// All `const` integer definitions.
+    pub consts: Vec<ConstDef>,
+    /// All `impl` blocks.
+    pub impls: Vec<ImplBlock>,
+    /// All `fn` definitions.
+    pub fns: Vec<FnDef>,
+    /// All `seed_from_u64` call sites.
+    pub rng_sites: Vec<RngSite>,
+    /// All `#[test]` functions.
+    pub tests: Vec<TestFn>,
+    /// All match-arm string literals.
+    pub arm_strs: Vec<ArmStr>,
+    /// All `enum` definitions.
+    pub enums: Vec<EnumDef>,
+}
+
+impl WorkspaceIndex {
+    /// Index a set of `(path, source)` files.
+    pub fn build(sources: &[(String, String)]) -> Self {
+        let mut idx = WorkspaceIndex::default();
+        for (path, source) in sources {
+            idx.add_file(path, source);
+        }
+        idx
+    }
+
+    /// Path of a file by index.
+    pub fn path(&self, file: usize) -> &str {
+        &self.files[file].path
+    }
+
+    /// Index of the first file whose non-test code references `ident` and
+    /// whose path satisfies `pred`.
+    pub fn file_referencing(&self, ident: &str, pred: impl Fn(&str) -> bool) -> Option<usize> {
+        self.files
+            .iter()
+            .position(|f| pred(&f.path) && f.idents.contains(ident))
+    }
+
+    /// Does `ident` occur within byte `range` of `file`'s masked code?
+    pub fn range_refs(&self, file: usize, range: (usize, usize), ident: &str) -> bool {
+        self.files[file]
+            .ident_refs
+            .iter()
+            .any(|(name, off)| *off >= range.0 && *off < range.1 && name == ident)
+    }
+
+    /// All `UPPER_CASE` constant names referenced within byte `range` of
+    /// `file`'s masked code.
+    pub fn const_refs_in(&self, file: usize, range: (usize, usize)) -> Vec<&str> {
+        self.files[file]
+            .ident_refs
+            .iter()
+            .filter(|(name, off)| *off >= range.0 && *off < range.1 && is_const_name(name))
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// All hex literals (with lines) within byte `range` of `file`.
+    pub fn hex_in(&self, file: usize, range: (usize, usize)) -> Vec<(u128, usize)> {
+        self.files[file]
+            .hex_lits
+            .iter()
+            .filter(|(_, off, _)| *off >= range.0 && *off < range.1)
+            .map(|(v, _, line)| (*v, *line))
+            .collect()
+    }
+
+    /// Resolve a constant name to its integer value when exactly one
+    /// definition exists workspace-wide.
+    pub fn resolve_const(&self, name: &str) -> Option<&ConstDef> {
+        let mut hits = self.consts.iter().filter(|c| c.name == name);
+        let first = hits.next()?;
+        if hits.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    fn add_file(&mut self, path: &str, source: &str) {
+        let file = self.files.len();
+        let masked: Masked = mask(source);
+        let spans = test_spans(&masked.code);
+        let toks = tokenize(&masked.code);
+        let in_test = |off: usize| spans.iter().any(|&(s, e)| off >= s && off < e);
+
+        let mut fi = FileIndex {
+            path: path.to_string(),
+            ..Default::default()
+        };
+        for (k, t) in toks.iter().enumerate() {
+            match &t.kind {
+                TokKind::Ident => {
+                    fi.all_idents.insert(t.text.clone());
+                    if !in_test(t.start) {
+                        fi.idents.insert(t.text.clone());
+                    }
+                    fi.ident_refs.push((t.text.clone(), t.start));
+                    // `A::B` qualified reference.
+                    if !in_test(t.start)
+                        && toks.get(k + 1).map(|t| &t.kind) == Some(&TokKind::Punct(':'))
+                        && toks.get(k + 2).map(|t| &t.kind) == Some(&TokKind::Punct(':'))
+                        && toks.get(k + 3).map(|t| &t.kind) == Some(&TokKind::Ident)
+                    {
+                        fi.qualified_refs
+                            .insert((t.text.clone(), toks[k + 3].text.clone()));
+                    }
+                }
+                TokKind::Num if t.text.starts_with("0x") || t.text.starts_with("0X") => {
+                    if let Some(v) = int_value(&t.text) {
+                        fi.hex_lits.push((v, t.start, t.line));
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.files.push(fi);
+
+        self.scan_items(file, &masked, &toks, &in_test);
+        self.scan_rng_sites(file, &toks, &in_test);
+        self.scan_tests(file, &masked, &toks);
+        self.scan_arm_strings(file, &masked, &in_test);
+    }
+
+    /// Byte offset just past the brace block opening at token `open`
+    /// (which must be `{`), or the end of code when unbalanced.
+    fn brace_block_end(toks: &[Tok], open: usize, code_len: usize) -> usize {
+        let mut depth = 0usize;
+        for t in &toks[open..] {
+            match t.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return t.start + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        code_len
+    }
+
+    /// Skip a balanced `<…>` generics block starting at token `i` (which
+    /// must be `<`), returning the index just past it.
+    fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match toks[i].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+                TokKind::Punct('{') | TokKind::Punct(';') => return i, // gave up: not generics
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Parse a type/trait path (`a::b::C<T>`) starting at token `i`.
+    /// Returns the last path segment and the index past the path.
+    fn parse_path(toks: &[Tok], mut i: usize) -> (Option<String>, usize) {
+        let mut last = None;
+        loop {
+            // `dyn`/`&` prefixes in trait-object positions.
+            while i < toks.len()
+                && matches!(&toks[i].kind, TokKind::Punct('&') | TokKind::Punct('\''))
+            {
+                i += 1;
+            }
+            if i < toks.len() && toks[i].kind == TokKind::Ident && toks[i].text == "dyn" {
+                i += 1;
+            }
+            if i >= toks.len() || toks[i].kind != TokKind::Ident {
+                return (last, i);
+            }
+            last = Some(toks[i].text.clone());
+            i += 1;
+            if i < toks.len() && toks[i].kind == TokKind::Punct('<') {
+                i = Self::skip_generics(toks, i);
+            }
+            // `::` continues the path.
+            if i + 1 < toks.len()
+                && toks[i].kind == TokKind::Punct(':')
+                && toks[i + 1].kind == TokKind::Punct(':')
+            {
+                i += 2;
+                continue;
+            }
+            return (last, i);
+        }
+    }
+
+    fn scan_items(
+        &mut self,
+        file: usize,
+        masked: &Masked,
+        toks: &[Tok],
+        in_test: &dyn Fn(usize) -> bool,
+    ) {
+        let code_len = masked.code.len();
+        // First pass: impl blocks (so fns can be attributed to owners).
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident && t.text == "impl" && !in_test(t.start) {
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].kind == TokKind::Punct('<') {
+                    j = Self::skip_generics(toks, j);
+                }
+                let (first, mut j) = Self::parse_path(toks, j);
+                let mut trait_name = None;
+                let mut type_name = first.clone();
+                if j < toks.len() && toks[j].kind == TokKind::Ident && toks[j].text == "for" {
+                    let (second, j2) = Self::parse_path(toks, j + 1);
+                    trait_name = first;
+                    type_name = second;
+                    j = j2;
+                }
+                // Skip any where-clause to the opening brace.
+                while j < toks.len() && toks[j].kind != TokKind::Punct('{') {
+                    if toks[j].kind == TokKind::Punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let (Some(type_name), true) = (
+                    type_name,
+                    j < toks.len() && toks[j].kind == TokKind::Punct('{'),
+                ) {
+                    let end = Self::brace_block_end(toks, j, code_len);
+                    self.impls.push(ImplBlock {
+                        trait_name,
+                        type_name,
+                        file,
+                        line: t.line,
+                        col: t.col,
+                        body: (toks[j].start, end),
+                    });
+                }
+                i = j.max(i + 1);
+                continue;
+            }
+            i += 1;
+        }
+        let impl_of = |off: usize| -> Option<&ImplBlock> {
+            self.impls
+                .iter()
+                .filter(|b| b.file == file)
+                .find(|b| off >= b.body.0 && off < b.body.1)
+        };
+
+        // Second pass: fns, consts, enums.
+        let mut fns = Vec::new();
+        let mut consts = Vec::new();
+        let mut enums = Vec::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "fn" => {
+                    let Some(name_tok) = toks.get(i + 1) else {
+                        break;
+                    };
+                    if name_tok.kind != TokKind::Ident {
+                        i += 1;
+                        continue;
+                    }
+                    // Walk the signature: past generics + args to `->`,
+                    // `{`, `;` or `where`.
+                    let mut j = i + 2;
+                    if j < toks.len() && toks[j].kind == TokKind::Punct('<') {
+                        j = Self::skip_generics(toks, j);
+                    }
+                    // Argument parens.
+                    let mut depth = 0isize;
+                    while j < toks.len() {
+                        match toks[j].kind {
+                            TokKind::Punct('(') => depth += 1,
+                            TokKind::Punct(')') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    // Return type: ident tokens between `->` and the body.
+                    let mut ret = Vec::new();
+                    if j + 1 < toks.len()
+                        && toks[j].kind == TokKind::Punct('-')
+                        && toks[j + 1].kind == TokKind::Punct('>')
+                    {
+                        j += 2;
+                        while j < toks.len() {
+                            match &toks[j].kind {
+                                TokKind::Punct('{') | TokKind::Punct(';') => break,
+                                TokKind::Ident if toks[j].text == "where" => break,
+                                TokKind::Ident => ret.push(toks[j].text.clone()),
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    while j < toks.len()
+                        && toks[j].kind != TokKind::Punct('{')
+                        && toks[j].kind != TokKind::Punct(';')
+                    {
+                        j += 1;
+                    }
+                    let body = if j < toks.len() && toks[j].kind == TokKind::Punct('{') {
+                        Some((toks[j].start, Self::brace_block_end(toks, j, code_len)))
+                    } else {
+                        None
+                    };
+                    let owner = impl_of(t.start);
+                    fns.push(FnDef {
+                        name: name_tok.text.clone(),
+                        owner: owner.map(|b| b.type_name.clone()),
+                        owner_trait: owner.and_then(|b| b.trait_name.clone()),
+                        ret,
+                        file,
+                        line: t.line,
+                        col: t.col,
+                        body,
+                    });
+                    i = j.max(i + 1);
+                }
+                "const" => {
+                    // const NAME: TY = <int literal>;
+                    let Some(name_tok) = toks.get(i + 1) else {
+                        break;
+                    };
+                    if name_tok.kind != TokKind::Ident {
+                        i += 1;
+                        continue;
+                    }
+                    let mut j = i + 2;
+                    while j < toks.len()
+                        && toks[j].kind != TokKind::Punct('=')
+                        && toks[j].kind != TokKind::Punct(';')
+                    {
+                        j += 1;
+                    }
+                    if j + 1 < toks.len() && toks[j].kind == TokKind::Punct('=') {
+                        if let TokKind::Num = toks[j + 1].kind {
+                            let text = &toks[j + 1].text;
+                            if let Some(value) = int_value(text) {
+                                consts.push(ConstDef {
+                                    name: name_tok.text.clone(),
+                                    value,
+                                    hex: text.starts_with("0x") || text.starts_with("0X"),
+                                    file,
+                                    line: name_tok.line,
+                                });
+                            }
+                        }
+                    }
+                    i = j.max(i + 1);
+                }
+                "enum" => {
+                    let Some(name_tok) = toks.get(i + 1) else {
+                        break;
+                    };
+                    if name_tok.kind != TokKind::Ident || in_test(t.start) {
+                        i += 1;
+                        continue;
+                    }
+                    let mut j = i + 2;
+                    if j < toks.len() && toks[j].kind == TokKind::Punct('<') {
+                        j = Self::skip_generics(toks, j);
+                    }
+                    if j >= toks.len() || toks[j].kind != TokKind::Punct('{') {
+                        i += 1;
+                        continue;
+                    }
+                    // Variants: idents at brace depth 1 that open a
+                    // variant (start of body or right after a `,`).
+                    let mut variants = Vec::new();
+                    let mut depth = 0isize;
+                    let mut expect_variant = false;
+                    let mut k = j;
+                    while k < toks.len() {
+                        match &toks[k].kind {
+                            TokKind::Punct('{') => {
+                                depth += 1;
+                                if depth == 1 {
+                                    expect_variant = true;
+                                }
+                            }
+                            TokKind::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Punct(',') if depth == 1 => expect_variant = true,
+                            // Skip `#[…]` attributes.
+                            TokKind::Punct('#')
+                                if toks.get(k + 1).map(|t| &t.kind)
+                                    == Some(&TokKind::Punct('[')) =>
+                            {
+                                let mut bd = 0isize;
+                                k += 1;
+                                while k < toks.len() {
+                                    match toks[k].kind {
+                                        TokKind::Punct('[') => bd += 1,
+                                        TokKind::Punct(']') => {
+                                            bd -= 1;
+                                            if bd == 0 {
+                                                break;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                    k += 1;
+                                }
+                            }
+                            TokKind::Ident if depth == 1 && expect_variant => {
+                                variants.push((toks[k].text.clone(), toks[k].line));
+                                expect_variant = false;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    enums.push(EnumDef {
+                        name: name_tok.text.clone(),
+                        variants,
+                        file,
+                        line: name_tok.line,
+                        col: name_tok.col,
+                    });
+                    i = k.max(i + 1);
+                }
+                _ => i += 1,
+            }
+        }
+        self.fns.extend(fns);
+        self.consts.extend(consts);
+        self.enums.extend(enums);
+    }
+
+    fn scan_rng_sites(&mut self, file: usize, toks: &[Tok], in_test: &dyn Fn(usize) -> bool) {
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text == "seed_from_u64"
+                && toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('('))
+            {
+                let mut tweaks = Vec::new();
+                let mut const_refs = Vec::new();
+                let mut depth = 0isize;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('(') => depth += 1,
+                        TokKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokKind::Num => {
+                            let text = &toks[j].text;
+                            if text.starts_with("0x") || text.starts_with("0X") {
+                                if let Some(v) = int_value(text) {
+                                    tweaks.push(v);
+                                }
+                            }
+                        }
+                        TokKind::Ident => {
+                            let t = &toks[j].text;
+                            if is_const_name(t) {
+                                const_refs.push(t.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                self.rng_sites.push(RngSite {
+                    tweaks,
+                    const_refs,
+                    file,
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    in_test: in_test(toks[i].start),
+                });
+                i = j.max(i + 1);
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    fn scan_tests(&mut self, file: usize, masked: &Masked, toks: &[Tok]) {
+        // `#[test]` (optionally with more attributes between it and `fn`).
+        let mut i = 0usize;
+        while i + 3 < toks.len() {
+            let is_test_attr = toks[i].kind == TokKind::Punct('#')
+                && toks[i + 1].kind == TokKind::Punct('[')
+                && toks[i + 2].kind == TokKind::Ident
+                && toks[i + 2].text == "test"
+                && toks[i + 3].kind == TokKind::Punct(']');
+            if !is_test_attr {
+                i += 1;
+                continue;
+            }
+            // Find the `fn` and its name.
+            let mut j = i + 4;
+            while j < toks.len() && !(toks[j].kind == TokKind::Ident && toks[j].text == "fn") {
+                j += 1;
+            }
+            let Some(name_tok) = toks.get(j + 1) else {
+                break;
+            };
+            // Body: first brace block after the name.
+            let mut k = j + 2;
+            while k < toks.len() && toks[k].kind != TokKind::Punct('{') {
+                k += 1;
+            }
+            if k < toks.len() {
+                let end = Self::brace_block_end(toks, k, masked.code.len());
+                let start = toks[k].start;
+                let refs = toks
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident && t.start >= start && t.start < end)
+                    .map(|t| t.text.clone())
+                    .collect();
+                self.tests.push(TestFn {
+                    name: name_tok.text.clone(),
+                    refs,
+                    file,
+                    line: name_tok.line,
+                });
+                i = k;
+            }
+            i += 1;
+        }
+    }
+
+    fn scan_arm_strings(&mut self, file: usize, masked: &Masked, in_test: &dyn Fn(usize) -> bool) {
+        for s in &masked.strings {
+            let after = masked.code[s.end..].trim_start();
+            if after.starts_with("=>") {
+                self.arm_strs.push(ArmStr {
+                    value: s.text.clone(),
+                    file,
+                    line: s.line,
+                    col: s.col,
+                    start: s.start,
+                    in_test: in_test(s.start),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> WorkspaceIndex {
+        WorkspaceIndex::build(&[("crates/fl/src/x.rs".into(), src.into())])
+    }
+
+    #[test]
+    fn impls_and_fns_are_attributed() {
+        let idx = build(
+            "struct A;\nimpl Proto for A {\n  fn seed_tweak(&self) -> u64 { 0xAB }\n}\n\
+             impl A {\n  fn protocol(&self) -> AProtocol { AProtocol }\n}\nfn free() {}\n",
+        );
+        assert_eq!(idx.impls.len(), 2);
+        assert_eq!(idx.impls[0].trait_name.as_deref(), Some("Proto"));
+        assert_eq!(idx.impls[0].type_name, "A");
+        assert_eq!(idx.impls[1].trait_name, None);
+        let tweak = idx.fns.iter().find(|f| f.name == "seed_tweak").unwrap();
+        assert_eq!(tweak.owner.as_deref(), Some("A"));
+        assert_eq!(tweak.owner_trait.as_deref(), Some("Proto"));
+        let proto = idx.fns.iter().find(|f| f.name == "protocol").unwrap();
+        assert_eq!(proto.ret, vec!["AProtocol".to_string()]);
+        assert!(idx
+            .fns
+            .iter()
+            .any(|f| f.name == "free" && f.owner.is_none()));
+    }
+
+    #[test]
+    fn rng_sites_collect_hex_tweaks_and_const_refs() {
+        let idx = build(
+            "const FAULT_TWEAK: u64 = 0xFAB7_5EED;\n\
+             fn f(seed: u64) {\n  let r = StdRng::seed_from_u64(seed ^ 0xEAE5 ^ FAULT_TWEAK);\n}\n\
+             #[cfg(test)]\nmod t { fn g() { StdRng::seed_from_u64(7 ^ 0xDEAD); } }\n",
+        );
+        assert_eq!(idx.rng_sites.len(), 2);
+        assert_eq!(idx.rng_sites[0].tweaks, vec![0xEAE5]);
+        assert_eq!(idx.rng_sites[0].const_refs, vec!["FAULT_TWEAK".to_string()]);
+        assert!(!idx.rng_sites[0].in_test);
+        assert!(idx.rng_sites[1].in_test);
+        assert_eq!(idx.resolve_const("FAULT_TWEAK").unwrap().value, 0xFAB7_5EED);
+    }
+
+    #[test]
+    fn enum_variants_and_match_arms_are_indexed() {
+        let idx = build(
+            "pub enum Framework {\n  Global,\n  FedAvg(FedAvg),\n  #[allow(dead_code)]\n  FedDa(FedDa),\n}\n\
+             fn parse(name: &str) -> u8 {\n  match name {\n    \"global\" => 0,\n    \"fedavg\" => 1,\n    _ => 9,\n  }\n}\n",
+        );
+        assert_eq!(idx.enums.len(), 1);
+        let names: Vec<&str> = idx.enums[0]
+            .variants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["Global", "FedAvg", "FedDa"]);
+        let arms: Vec<&str> = idx.arm_strs.iter().map(|a| a.value.as_str()).collect();
+        assert_eq!(arms, vec!["global", "fedavg"]);
+    }
+
+    #[test]
+    fn test_fns_record_their_references() {
+        let idx = build(
+            "#[test]\nfn golden_async_thing() {\n  let d = AsyncDriver::new(cfg);\n  d.run(&mut Thing::new());\n}\n",
+        );
+        assert_eq!(idx.tests.len(), 1);
+        assert!(idx.tests[0].refs.contains("AsyncDriver"));
+        assert!(idx.tests[0].refs.contains("Thing"));
+    }
+
+    #[test]
+    fn int_values_parse_hex_and_suffixes() {
+        assert_eq!(int_value("0xFED9_0B0C"), Some(0xFED9_0B0C));
+        assert_eq!(int_value("42u64"), Some(42));
+        assert_eq!(int_value("0b101"), Some(5));
+        assert_eq!(int_value("1.5"), None);
+    }
+}

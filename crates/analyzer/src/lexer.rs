@@ -21,6 +21,24 @@ pub struct Comment {
     pub trailing: bool,
 }
 
+/// One string literal with its position and contents (delimiters excluded).
+/// The cross-file index uses these to read registry tables — e.g. the
+/// `"fedavg" => …` match arms of `parse_framework` — which the mask
+/// deliberately hides from the per-line rules.
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// 1-based line of the opening delimiter.
+    pub line: usize,
+    /// 1-based column of the opening delimiter.
+    pub col: usize,
+    /// Byte offset in the *masked* code where the literal starts.
+    pub start: usize,
+    /// Byte offset in the *masked* code just past the closing delimiter.
+    pub end: usize,
+    /// Literal contents without delimiters (escapes kept verbatim).
+    pub text: String,
+}
+
 /// Lexer output: code-only text plus the extracted comments.
 #[derive(Clone, Debug)]
 pub struct Masked {
@@ -28,6 +46,8 @@ pub struct Masked {
     pub code: String,
     /// Every comment in source order.
     pub comments: Vec<Comment>,
+    /// Every string literal (plain and raw) in source order.
+    pub strings: Vec<StrLit>,
 }
 
 /// Strip comments, strings (plain, raw, byte, raw-byte) and char literals.
@@ -35,6 +55,7 @@ pub fn mask(source: &str) -> Masked {
     let chars: Vec<char> = source.chars().collect();
     let mut code = String::with_capacity(source.len());
     let mut comments = Vec::new();
+    let mut strings = Vec::new();
     let mut line = 1usize;
     let mut col = 1usize;
     // Columns are counted in characters, consistent with the rule engine.
@@ -144,6 +165,8 @@ pub fn mask(source: &str) -> Masked {
             }
             if k < chars.len() && chars[k] == '"' && (hashes > 0 || chars[j + 1] == '"') {
                 // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                let (lit_line, lit_col, lit_start) = (line, col, code.len());
+                let mut text = String::new();
                 for &pc in &chars[i..=k] {
                     blank!(pc);
                 }
@@ -162,9 +185,17 @@ pub fn mask(source: &str) -> Masked {
                             break 'raw;
                         }
                     }
+                    text.push(chars[i]);
                     blank!(chars[i]);
                     i += 1;
                 }
+                strings.push(StrLit {
+                    line: lit_line,
+                    col: lit_col,
+                    start: lit_start,
+                    end: code.len(),
+                    text,
+                });
                 continue;
             }
             if c == 'b' && i + 1 < chars.len() && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
@@ -177,22 +208,36 @@ pub fn mask(source: &str) -> Masked {
         }
         // Plain string literal.
         if c == '"' {
+            let (lit_line, lit_col, lit_start) = (line, col, code.len());
+            let mut text = String::new();
             blank!(c);
             i += 1;
             while i < chars.len() {
                 if chars[i] == '\\' && i + 1 < chars.len() {
+                    text.push(chars[i]);
+                    text.push(chars[i + 1]);
                     blank!(chars[i]);
                     blank!(chars[i + 1]);
                     i += 2;
                     continue;
                 }
                 let done = chars[i] == '"';
+                if !done {
+                    text.push(chars[i]);
+                }
                 blank!(chars[i]);
                 i += 1;
                 if done {
                     break;
                 }
             }
+            strings.push(StrLit {
+                line: lit_line,
+                col: lit_col,
+                start: lit_start,
+                end: code.len(),
+                text,
+            });
             continue;
         }
         // Char literal vs lifetime: `'x'` / `'\n'` are literals; `'a` in
@@ -227,7 +272,11 @@ pub fn mask(source: &str) -> Masked {
         i += 1;
     }
 
-    Masked { code, comments }
+    Masked {
+        code,
+        comments,
+        strings,
+    }
 }
 
 /// Byte spans of `#[cfg(test)]`-gated items (and `#[test]` functions) in the
@@ -316,6 +365,32 @@ mod tests {
         let src = "line1 // c\nline2 \"s\ntill here\"\nline3";
         let m = mask(src);
         assert_eq!(m.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn string_literals_are_captured_with_positions() {
+        let m = mask("let a = \"fedavg\"; let b = r#\"raw \"bit\"\"#;");
+        assert_eq!(m.strings.len(), 2);
+        assert_eq!(m.strings[0].text, "fedavg");
+        assert_eq!(m.strings[0].line, 1);
+        assert_eq!(m.strings[0].col, 9);
+        // Masked offsets bracket the blanked-out literal.
+        assert_eq!(&m.code[m.strings[0].start..m.strings[0].end], "        ");
+        assert_eq!(m.strings[1].text, "raw \"bit\"");
+    }
+
+    #[test]
+    fn match_arm_after_string_is_visible_in_masked_code() {
+        let m = mask("match x { \"fedavg\" => 1, _ => 0 }");
+        let s = &m.strings[0];
+        assert_eq!(
+            m.code[s.end..]
+                .trim_start()
+                .chars()
+                .take(2)
+                .collect::<String>(),
+            "=>"
+        );
     }
 
     #[test]

@@ -11,14 +11,26 @@
 //! | `panic-path` (D3) | core crates | no `.unwrap()` / `.expect()` / `panic!` / `todo!` in non-test library code |
 //! | `float-eq` (D4) | core crates | no float `==` / `!=` against float literals without a stated reason |
 //! | `narrowing-cast` (D5) | fl | no potentially-truncating `as u8/u16/u32/i8/i16/i32` in protocol/ledger accounting |
+//! | `rng-stream` (D6) | workspace | derived RNG stream tweaks globally unique (see `rules_cross`) |
+//! | `protocol-factory` (R1) | workspace | every `FlProtocol` impl reachable from the `Framework` factory |
+//! | `protocol-pins` (R2) | workspace | every protocol carries sync + async golden pins |
+//! | `protocol-zoo` (R3) | workspace | chaos-sweep coverage; `parse_framework` arms ↔ README zoo rows |
+//!
+//! D1–D5 run per file ([`rules`]); D6/R1–R3 run over the cross-file
+//! [`index::WorkspaceIndex`] in workspace mode (see `DESIGN.md` §13).
+//! The `--ratchet` mode ([`ratchet`]) gates per-rule finding counts
+//! against a committed baseline so they can only fall.
 //!
 //! Exemptions are line-scoped comment directives that must carry a reason —
 //! `// fedda-lint: allow(wall-clock, reason = "telemetry only")` — and are
 //! counted and printed so they stay visible. Reasonless, unknown-rule and
 //! unused directives are themselves findings.
 
+pub mod index;
 pub mod lexer;
+pub mod ratchet;
 pub mod rules;
+pub mod rules_cross;
 
 pub use rules::{scan_file, Finding};
 
@@ -30,6 +42,24 @@ use std::path::{Path, PathBuf};
 /// The analyzer itself is excluded: its sources and fixtures quote the very
 /// patterns it hunts for.
 pub const SCANNED_CRATES: &[&str] = &["data", "hetgraph", "tensor", "hgn", "fl", "metrics"];
+
+/// Crates whose `src/` trees join the cross-file index (and may carry
+/// suppression directives) without being policed by the per-file rules:
+/// the experiment facade, the bench CLI and the user CLI quote protocol
+/// names and derive RNG streams, so D6/R1–R3 must see them.
+pub const INDEXED_CRATES: &[&str] = &["core", "bench", "cli"];
+
+/// Root-relative directories scanned with the full per-file rule set in
+/// addition to the workspace crates (integration tests and examples; both
+/// have no `crates/<name>/` prefix, so every rule scope applies).
+pub const EXTRA_SCANNED_DIRS: &[&str] = &["tests", "examples"];
+
+/// Individual test files the cross-file rules interrogate (golden pins,
+/// chaos sweep coverage).
+pub const INDEXED_FILES: &[&str] = &[
+    "crates/fl/tests/golden_curves.rs",
+    "crates/fl/tests/chaos.rs",
+];
 
 /// A full analysis result.
 #[derive(Clone, Debug, Default)]
@@ -153,33 +183,132 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Analyze a set of files. Paths are reported relative to `root` when they
-/// live under it.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Analyze a set of files with the per-file rules only (no cross-file
+/// index — that needs the whole workspace). Paths are reported relative
+/// to `root` when they live under it.
 pub fn analyze_files(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
     let mut report = Report::default();
     for path in files {
         let source = fs::read_to_string(path)?;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        report.findings.extend(scan_file(&rel, &source));
+        report
+            .findings
+            .extend(scan_file(&rel_path(root, path), &source));
         report.files_scanned += 1;
     }
     Ok(report)
 }
 
-/// Analyze the library sources of every scanned crate under `root`.
+/// Analyze the whole workspace under `root`: per-file rules over the
+/// scanned crates plus `tests/` and `examples/`, and the cross-file rule
+/// families (D6, R1–R3) over an index that additionally covers the
+/// experiment/bench/CLI crates, the golden-curve pins, the chaos sweep
+/// and the README protocol zoo.
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
+    let mut scanned = Vec::new();
     for krate in SCANNED_CRATES {
         let src = root.join("crates").join(krate).join("src");
         if src.is_dir() {
-            rust_files(&src, &mut files)?;
+            rust_files(&src, &mut scanned)?;
         }
     }
-    analyze_files(root, &files)
+    for dir in EXTRA_SCANNED_DIRS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            rust_files(&dir, &mut scanned)?;
+        }
+    }
+    let mut index_only = Vec::new();
+    for krate in INDEXED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut index_only)?;
+        }
+    }
+    for file in INDEXED_FILES {
+        let path = root.join(file);
+        if path.is_file() {
+            index_only.push(path);
+        }
+    }
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut scans = Vec::new();
+    for path in &scanned {
+        let source = fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        scans.push(rules::scan_file_raw(&rel, &source));
+        sources.push((rel, source));
+    }
+    for path in &index_only {
+        let source = fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        scans.push(rules::directive_scan(&rel, &source));
+        sources.push((rel, source));
+    }
+
+    let workspace_index = index::WorkspaceIndex::build(&sources);
+    let readme_text = fs::read_to_string(root.join("README.md")).ok();
+    let cross = rules_cross::cross_findings(
+        &workspace_index,
+        readme_text.as_deref().map(|t| ("README.md", t)),
+    );
+
+    Ok(Report {
+        findings: rules::resolve(scans, cross),
+        files_scanned: scanned.len() + index_only.len(),
+    })
+}
+
+/// Remove the suppression directives behind every `unused-suppression`
+/// finding in `report`: directive-only lines are deleted outright,
+/// trailing directives are trimmed off their line. Returns the edited
+/// `(file, directive line)` pairs. Paths in the report are resolved
+/// relative to `root`.
+pub fn fix_suppressions(root: &Path, report: &Report) -> io::Result<Vec<(String, usize)>> {
+    use std::collections::BTreeMap;
+    let mut by_file: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for f in &report.findings {
+        if f.rule == rules::UNUSED_SUPPRESSION {
+            by_file.entry(&f.file).or_default().push(f.line);
+        }
+    }
+    let mut fixed = Vec::new();
+    for (file, mut lines) in by_file {
+        lines.sort_unstable();
+        lines.dedup();
+        let path = root.join(file);
+        let source = fs::read_to_string(&path)?;
+        let ends_with_newline = source.ends_with('\n');
+        let mut out: Vec<String> = Vec::new();
+        for (i, line) in source.lines().enumerate() {
+            if !lines.contains(&(i + 1)) {
+                out.push(line.to_string());
+                continue;
+            }
+            let at = line.find("// fedda-lint:").unwrap_or(line.len());
+            let prefix = &line[..at];
+            if prefix.trim().is_empty() {
+                // Directive-only line: drop it entirely.
+            } else {
+                // Trailing directive: keep the code, lose the comment.
+                out.push(prefix.trim_end().to_string());
+            }
+            fixed.push((file.to_string(), i + 1));
+        }
+        let mut text = out.join("\n");
+        if ends_with_newline {
+            text.push('\n');
+        }
+        fs::write(&path, text)?;
+    }
+    Ok(fixed)
 }
 
 /// Walk upward from `start` to the directory whose `Cargo.toml` declares

@@ -1,13 +1,17 @@
 //! `fedda-lint` CLI.
 //!
 //! ```text
-//! fedda-lint [--json] [--root DIR] [FILES...]
+//! fedda-lint [--json] [--root DIR] [--ratchet FILE] [--ratchet-write FILE]
+//!            [--fix-suppressions] [FILES...]
 //! ```
 //!
 //! With no `FILES`, scans the library sources (`crates/*/src`) of every
 //! in-scope crate of the workspace found at `--root` (default: walk up from
-//! the current directory). Exits nonzero when any unsuppressed finding
-//! remains.
+//! the current directory), plus `tests/` and `examples/`, and runs the
+//! cross-file rule families over the workspace index. Explicit `FILES` run
+//! the per-file rules only. Exits nonzero when any unsuppressed finding
+//! remains, or — under `--ratchet` — when any per-rule finding count rises
+//! above the committed baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,11 +19,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut ratchet: Option<PathBuf> = None;
+    let mut ratchet_write: Option<PathBuf> = None;
+    let mut fix = false;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--fix-suppressions" => fix = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -27,8 +35,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--ratchet" => match args.next() {
+                Some(path) => ratchet = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("fedda-lint: --ratchet needs a baseline file");
+                    return ExitCode::from(2);
+                }
+            },
+            "--ratchet-write" => match args.next() {
+                Some(path) => ratchet_write = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("fedda-lint: --ratchet-write needs a baseline file");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: fedda-lint [--json] [--root DIR] [FILES...]");
+                println!(
+                    "usage: fedda-lint [--json] [--root DIR] [--ratchet FILE] \
+                     [--ratchet-write FILE] [--fix-suppressions] [FILES...]"
+                );
                 println!("rules: {}", fedda_analyzer::rules::RULE_IDS.join(", "));
                 return ExitCode::SUCCESS;
             }
@@ -48,12 +73,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = if files.is_empty() {
-        fedda_analyzer::analyze_workspace(&root)
-    } else {
-        fedda_analyzer::analyze_files(&root, &files)
+    let analyze = |files: &[PathBuf]| {
+        if files.is_empty() {
+            fedda_analyzer::analyze_workspace(&root)
+        } else {
+            fedda_analyzer::analyze_files(&root, files)
+        }
     };
-    let report = match result {
+    let mut report = match analyze(&files) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fedda-lint: {e}");
@@ -61,12 +88,69 @@ fn main() -> ExitCode {
         }
     };
 
+    if fix {
+        let fixed = match fedda_analyzer::fix_suppressions(&root, &report) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("fedda-lint: --fix-suppressions: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (file, line) in &fixed {
+            eprintln!("fedda-lint: removed unused suppression at {file}:{line}");
+        }
+        if !fixed.is_empty() {
+            // Re-analyze so the report (and exit code) reflect the fixed tree.
+            report = match analyze(&files) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fedda-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+        }
+    }
+
     if json {
         print!("{}", report.to_json());
     } else {
         print!("{}", report.render());
     }
-    if report.unsuppressed_count() > 0 {
+
+    if let Some(path) = ratchet_write {
+        let baseline = fedda_analyzer::ratchet::Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+            eprintln!("fedda-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("fedda-lint: wrote baseline {}", path.display());
+    }
+
+    let mut failed = report.unsuppressed_count() > 0;
+    if let Some(path) = ratchet {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fedda-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match fedda_analyzer::ratchet::Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("fedda-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let current = fedda_analyzer::ratchet::Baseline::from_findings(&report.findings);
+        let regressions = baseline.regressions(&current);
+        for r in &regressions {
+            eprintln!("fedda-lint: ratchet: {r}");
+        }
+        failed |= !regressions.is_empty();
+    }
+
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,193 @@
+//! The lint ratchet: per-rule finding counts persisted to
+//! `lint-baseline.json`, with a check that fails when any count rises.
+//!
+//! Counts include suppressed findings — unsuppressed ones already fail the
+//! build outright — so the baseline is effectively the reasoned-exemption
+//! budget: a new suppression anywhere in the workspace trips the ratchet
+//! until the baseline is deliberately regenerated (`--ratchet-write`) in
+//! the same change, which makes the growth visible in review. Counts
+//! going *down* never fail; regenerating then tightens the budget.
+//!
+//! The JSON is read by a tiny purpose-built parser so the analyzer keeps
+//! its zero-dependency build; the format is exactly what
+//! [`Baseline::to_json`] emits:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "counts": {
+//!     "panic-path": 3,
+//!     "wall-clock": 1
+//!   }
+//! }
+//! ```
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Format version this module reads and writes.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Per-rule finding counts (suppressed + unsuppressed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// rule id -> total findings.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Count findings per rule.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.rule.to_string()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Stable-order JSON serialisation.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"version\": {BASELINE_VERSION},\n  \"counts\": {{");
+        for (i, (rule, n)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{rule}\": {n}"));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parse a baseline file. Tolerates whitespace but nothing fancier
+    /// than the format `to_json` writes.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let version = field_value(text, "version")
+            .ok_or_else(|| "baseline: missing \"version\" field".to_string())?;
+        if version != BASELINE_VERSION as usize {
+            return Err(format!(
+                "baseline: unsupported version {version} (expected {BASELINE_VERSION})"
+            ));
+        }
+        let counts_at = text
+            .find("\"counts\"")
+            .ok_or_else(|| "baseline: missing \"counts\" object".to_string())?;
+        let open = text[counts_at..]
+            .find('{')
+            .map(|i| counts_at + i)
+            .ok_or_else(|| "baseline: \"counts\" is not an object".to_string())?;
+        let close = text[open..]
+            .find('}')
+            .map(|i| open + i)
+            .ok_or_else(|| "baseline: unterminated \"counts\" object".to_string())?;
+        let body = &text[open + 1..close];
+        let mut counts = BTreeMap::new();
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("baseline: malformed counts entry `{entry}`"))?;
+            let key = key.trim().trim_matches('"');
+            let value: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("baseline: non-integer count for `{key}`"))?;
+            if key.is_empty() {
+                return Err(format!("baseline: empty rule id in entry `{entry}`"));
+            }
+            counts.insert(key.to_string(), value);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Rules whose current count exceeds the baseline (rules absent from
+    /// the baseline count as 0, so brand-new findings always trip it).
+    pub fn regressions(&self, current: &Baseline) -> Vec<String> {
+        let mut out = Vec::new();
+        for (rule, &n) in &current.counts {
+            let allowed = self.counts.get(rule).copied().unwrap_or(0);
+            if n > allowed {
+                out.push(format!(
+                    "rule `{rule}`: {n} finding(s), baseline allows {allowed} — \
+                     fix the new finding(s) or regenerate the baseline with \
+                     --ratchet-write and justify the growth in review"
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Extract `"name": <int>` from JSON text (top-level scan, first match).
+fn field_value(text: &str, name: &str) -> Option<usize> {
+    let needle = format!("\"{name}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{PANIC_PATH, WALL_CLOCK};
+
+    fn finding(rule: &'static str) -> Finding {
+        Finding {
+            file: "x.rs".into(),
+            line: 1,
+            col: 1,
+            rule,
+            message: String::new(),
+            suppressed: true,
+            reason: Some("r".into()),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = Baseline::from_findings(&[
+            finding(PANIC_PATH),
+            finding(PANIC_PATH),
+            finding(WALL_CLOCK),
+        ]);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.counts[PANIC_PATH], 2);
+    }
+
+    #[test]
+    fn rising_count_is_a_regression_and_falling_is_not() {
+        let base = Baseline::parse("{\"version\": 1, \"counts\": {\"panic-path\": 1}}").unwrap();
+        let worse = Baseline::from_findings(&[finding(PANIC_PATH), finding(PANIC_PATH)]);
+        assert_eq!(base.regressions(&worse).len(), 1);
+        let better = Baseline::from_findings(&[]);
+        assert!(base.regressions(&better).is_empty());
+    }
+
+    #[test]
+    fn new_rule_with_findings_trips_an_old_baseline() {
+        let base = Baseline::parse("{\"version\": 1, \"counts\": {}}").unwrap();
+        let current = Baseline::from_findings(&[finding(WALL_CLOCK)]);
+        let regs = base.regressions(&current);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("wall-clock"));
+    }
+
+    #[test]
+    fn bad_baselines_are_rejected_with_reasons() {
+        assert!(Baseline::parse("{}").unwrap_err().contains("version"));
+        assert!(Baseline::parse("{\"version\": 2, \"counts\": {}}")
+            .unwrap_err()
+            .contains("version 2"));
+        assert!(Baseline::parse("{\"version\": 1}")
+            .unwrap_err()
+            .contains("counts"));
+        assert!(Baseline::parse("{\"version\": 1, \"counts\": {\"a\": \"x\"}}").is_err());
+    }
+}

@@ -17,6 +17,19 @@ pub const PANIC_PATH: &str = "panic-path";
 pub const FLOAT_EQ: &str = "float-eq";
 /// D5: no potentially-truncating `as` casts in comm accounting code.
 pub const NARROWING_CAST: &str = "narrowing-cast";
+/// D6 (cross-file): RNG-stream discipline — tweak constants must be
+/// globally unique, and every `seed_tweak` impl must return a resolvable
+/// constant.
+pub const RNG_STREAM: &str = "rng-stream";
+/// R1 (cross-file): every `FlProtocol` impl must be reachable from the
+/// `Framework` factory, and every `Framework` variant from `parse_framework`.
+pub const PROTOCOL_FACTORY: &str = "protocol-factory";
+/// R2 (cross-file): every `FlProtocol` impl needs sync + async golden pins
+/// in `golden_curves.rs`.
+pub const PROTOCOL_PINS: &str = "protocol-pins";
+/// R3 (cross-file): every `FlProtocol` impl must appear in the chaos sweep,
+/// and `parse_framework` arms must mirror the README zoo table.
+pub const PROTOCOL_ZOO: &str = "protocol-zoo";
 /// Meta-rule: a `fedda-lint: allow(...)` directive that is malformed,
 /// names an unknown rule, or lacks a reason.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
@@ -38,6 +51,10 @@ pub const RULE_IDS: &[&str] = &[
     PANIC_PATH,
     FLOAT_EQ,
     NARROWING_CAST,
+    RNG_STREAM,
+    PROTOCOL_FACTORY,
+    PROTOCOL_PINS,
+    PROTOCOL_ZOO,
 ];
 
 /// One diagnostic.
@@ -61,15 +78,34 @@ pub struct Finding {
 
 /// A parsed `// fedda-lint: allow(rule, reason = "...")` directive.
 #[derive(Clone, Debug)]
-struct Suppression {
-    rule: String,
-    reason: String,
+pub struct Suppression {
+    /// The rule the directive exempts.
+    pub rule: String,
+    /// The stated reason.
+    pub reason: String,
     /// The line the directive suppresses findings on.
-    target_line: usize,
+    pub target_line: usize,
     /// The line the directive itself sits on.
-    directive_line: usize,
-    directive_col: usize,
-    used: bool,
+    pub directive_line: usize,
+    /// 1-based column of the directive comment.
+    pub directive_col: usize,
+    /// Set once the directive has matched at least one finding.
+    pub used: bool,
+}
+
+/// One file's raw scan: findings with no suppression applied yet, plus the
+/// directives and malformed-directive diagnostics found alongside them.
+/// [`resolve`] merges cross-file findings in and applies suppressions.
+#[derive(Clone, Debug, Default)]
+pub struct FileScan {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Per-file rule findings, unsuppressed.
+    pub findings: Vec<Finding>,
+    /// Well-formed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// `bad-suppression` findings.
+    pub bad: Vec<Finding>,
 }
 
 /// Which rule scopes apply to a file, derived from its path (or, for files
@@ -173,13 +209,97 @@ fn token_after(line: &str, start: usize) -> &str {
 }
 
 /// Scan one file and return its findings (suppressed ones included, with
-/// their reasons attached).
+/// their reasons attached). Single-file convenience over
+/// [`scan_file_raw`] + [`resolve`].
 pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
+    resolve(vec![scan_file_raw(path, source)], Vec::new())
+}
+
+/// Parse only the suppression directives (and malformed-directive findings)
+/// of a file, running no per-line rules. Used for index-only files — code
+/// the cross-file rules read but the per-file rules don't police — so
+/// cross-file findings there can still be suppressed in-tree.
+pub fn directive_scan(path: &str, source: &str) -> FileScan {
+    let masked = mask(source);
+    let spans = test_spans(&masked.code);
+    let suppressions = parse_suppressions(&masked.comments, &masked.code, &spans);
+    let mut line_starts = vec![0usize];
+    for (i, b) in masked.code.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    FileScan {
+        path: path.to_string(),
+        findings: Vec::new(),
+        bad: bad_directives(path, &masked.comments, &spans, &line_starts),
+        suppressions,
+    }
+}
+
+/// Merge per-file scans with cross-file findings, apply suppressions, and
+/// report unused directives. Cross-file findings land in the file they are
+/// anchored to, so a directive on the anchor line exempts them like any
+/// per-line finding; findings anchored in files with no scan (e.g.
+/// `README.md`) pass through unsuppressable.
+pub fn resolve(scans: Vec<FileScan>, cross: Vec<Finding>) -> Vec<Finding> {
+    let mut cross_by_file: std::collections::BTreeMap<String, Vec<Finding>> =
+        std::collections::BTreeMap::new();
+    for f in cross {
+        cross_by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let mut out = Vec::new();
+    for scan in scans {
+        let mut findings = scan.findings;
+        findings.extend(cross_by_file.remove(&scan.path).unwrap_or_default());
+        let mut suppressions = scan.suppressions;
+        for f in &mut findings {
+            if let Some(sup) = suppressions
+                .iter_mut()
+                .find(|s| s.rule == f.rule && s.target_line == f.line)
+            {
+                f.suppressed = true;
+                f.reason = Some(sup.reason.clone());
+                sup.used = true;
+            }
+        }
+        for sup in &suppressions {
+            if !sup.used {
+                findings.push(Finding {
+                    file: scan.path.clone(),
+                    line: sup.directive_line,
+                    col: sup.directive_col,
+                    rule: UNUSED_SUPPRESSION,
+                    message: format!(
+                        "suppression `allow({})` matches no finding on line {}: remove it",
+                        sup.rule, sup.target_line
+                    ),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+        }
+        findings.extend(scan.bad);
+        out.extend(findings);
+    }
+    // Findings anchored in files that were never scanned for directives.
+    for (_, rest) in cross_by_file {
+        out.extend(rest);
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    out
+}
+
+/// Run every in-scope per-line rule on one file, returning the raw scan
+/// with suppressions unapplied.
+pub fn scan_file_raw(path: &str, source: &str) -> FileScan {
     let krate = crate_of(path, source);
     let krate = krate.as_deref();
     let masked = mask(source);
     let spans = test_spans(&masked.code);
-    let mut suppressions = parse_suppressions(&masked.comments, &masked.code, &spans);
+    let suppressions = parse_suppressions(&masked.comments, &masked.code, &spans);
     let mut findings: Vec<Finding> = Vec::new();
 
     // Byte offset of each line start in the masked code, to map (line, col
@@ -355,37 +475,12 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    // Apply suppressions (one line-scoped directive covers every matching
-    // finding on its target line).
-    for f in &mut findings {
-        if let Some(sup) = suppressions
-            .iter_mut()
-            .find(|s| s.rule == f.rule && s.target_line == f.line)
-        {
-            f.suppressed = true;
-            f.reason = Some(sup.reason.clone());
-            sup.used = true;
-        }
+    FileScan {
+        path: path.to_string(),
+        bad: bad_directives(path, &masked.comments, &spans, &line_starts),
+        findings,
+        suppressions,
     }
-    for sup in &suppressions {
-        if !sup.used {
-            findings.push(Finding {
-                file: path.to_string(),
-                line: sup.directive_line,
-                col: sup.directive_col,
-                rule: UNUSED_SUPPRESSION,
-                message: format!(
-                    "suppression `allow({})` matches no finding on line {}: remove it",
-                    sup.rule, sup.target_line
-                ),
-                suppressed: false,
-                reason: None,
-            });
-        }
-    }
-    findings.extend(bad_directives(path, &masked.comments, &spans, &line_starts));
-    findings.sort_by_key(|a| (a.line, a.col));
-    findings
 }
 
 /// Parse well-formed directives out of comments; malformed ones are
@@ -402,6 +497,14 @@ fn parse_suppressions(
             line_starts.push(i + 1);
         }
     }
+    // Lines occupied by a leading (own-line) directive: a stack of
+    // consecutive directive lines all targets the first code line below
+    // the stack, so several rules can be exempted on one anchor line.
+    let directive_lines: std::collections::BTreeSet<usize> = comments
+        .iter()
+        .filter(|c| !c.trailing && c.text.contains("fedda-lint:"))
+        .map(|c| c.line)
+        .collect();
     let mut out = Vec::new();
     for c in comments {
         let Some((rule, reason)) = parse_directive(&c.text) else {
@@ -414,10 +517,19 @@ fn parse_suppressions(
         if spans.iter().any(|&(s, e)| off >= s && off < e) {
             continue;
         }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            let mut t = c.line + 1;
+            while directive_lines.contains(&t) {
+                t += 1;
+            }
+            t
+        };
         out.push(Suppression {
             rule,
             reason,
-            target_line: if c.trailing { c.line } else { c.line + 1 },
+            target_line,
             directive_line: c.line,
             directive_col: c.col,
             used: false,

@@ -1,0 +1,705 @@
+//! Cross-file rule families (D6, R1–R3) over the [`WorkspaceIndex`].
+//!
+//! Per-file rules police what a line of code *is*; these rules police what
+//! the workspace *forgot* — a tweak constant reused by two "independent"
+//! RNG streams, a protocol implemented but never wired into the factory,
+//! pinned, chaos-swept or documented. Every finding is anchored to a real
+//! source position (the colliding call site, the `impl` header, the match
+//! arm, the README row) so the ordinary line-scoped
+//! `// fedda-lint: allow(rule, reason = "...")` directives can exempt it.
+//!
+//! | id | family | invariant |
+//! |----|--------|-----------|
+//! | `rng-stream` (D6) | RNG discipline | stream tweaks are globally unique; `seed_tweak` impls return resolvable constants |
+//! | `protocol-factory` (R1) | drift | every `FlProtocol` impl reachable from the `Framework` factory; every variant parseable |
+//! | `protocol-pins` (R2) | drift | every `FlProtocol` impl has sync + async golden pins |
+//! | `protocol-zoo` (R3) | drift | every impl chaos-swept; `parse_framework` arms ↔ README zoo rows |
+
+use crate::index::{ImplBlock, WorkspaceIndex};
+use crate::rules::{Finding, PROTOCOL_FACTORY, PROTOCOL_PINS, PROTOCOL_ZOO, RNG_STREAM};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The trait whose implementations form the protocol surface.
+const PROTOCOL_TRAIT: &str = "FlProtocol";
+/// Directory holding the protocol implementations R1–R3 police.
+const PROTOCOL_DIR: &str = "crates/fl/src/";
+
+fn finding(file: &str, line: usize, col: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        col,
+        rule,
+        message,
+        suppressed: false,
+        reason: None,
+    }
+}
+
+/// Run every cross-file rule. `readme` is the README's `(path, content)`
+/// when present — it is markdown, so it bypasses the Rust index.
+pub fn cross_findings(index: &WorkspaceIndex, readme: Option<(&str, &str)>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(rng_streams(index));
+    out.extend(protocol_surface(index, readme));
+    out
+}
+
+/// The identity of one logical RNG stream for collision purposes.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum StreamKey {
+    /// Tweak written as a literal — identified by file so repeated uses of
+    /// one value inside one file (the same stream, re-derived per round)
+    /// collapse into a single stream.
+    Literal(String),
+    /// Tweak referenced through a named constant: the constant *is* the
+    /// registry entry, so every use is the same stream by construction.
+    Const(String),
+    /// A protocol's `seed_tweak` — identified by the implementing type.
+    SeedTweak(String),
+}
+
+impl StreamKey {
+    fn describe(&self) -> String {
+        match self {
+            StreamKey::Literal(file) => format!("literal tweak in {file}"),
+            StreamKey::Const(name) => format!("const `{name}`"),
+            StreamKey::SeedTweak(ty) => format!("`{ty}::seed_tweak`"),
+        }
+    }
+}
+
+/// D6: collect every stream tweak in library code and report value
+/// collisions between distinct streams, plus `seed_tweak` impls whose
+/// return value cannot be resolved to a constant. Streams seeded directly
+/// from a caller-supplied seed (no tweak at all) are roots of the stream
+/// tree and are exempt — the discipline applies to *derived* streams.
+fn rng_streams(index: &WorkspaceIndex) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // value -> stream key -> first anchor (file path, line, col).
+    let mut streams: BTreeMap<u128, BTreeMap<StreamKey, (String, usize, usize)>> = BTreeMap::new();
+    let mut add = |value: u128, key: StreamKey, anchor: (String, usize, usize)| {
+        streams
+            .entry(value)
+            .or_default()
+            .entry(key)
+            .or_insert(anchor);
+    };
+
+    let in_library = |path: &str| path.starts_with("crates/") && path.contains("/src/");
+
+    for site in &index.rng_sites {
+        let path = index.path(site.file);
+        if site.in_test || !in_library(path) {
+            continue;
+        }
+        let anchor = (path.to_string(), site.line, site.col);
+        for &v in &site.tweaks {
+            add(v, StreamKey::Literal(path.to_string()), anchor.clone());
+        }
+        for name in &site.const_refs {
+            match index.resolve_const(name) {
+                Some(c) => add(c.value, StreamKey::Const(name.clone()), anchor.clone()),
+                None => out.push(finding(
+                    path,
+                    site.line,
+                    site.col,
+                    RNG_STREAM,
+                    format!(
+                        "RNG stream tweak `{name}` has no unique integer `const` definition \
+                         in the workspace: register the tweak as a single named constant"
+                    ),
+                )),
+            }
+        }
+    }
+
+    // `seed_tweak` implementations: each must resolve to a constant value.
+    for f in &index.fns {
+        if f.name != "seed_tweak" || f.owner_trait.as_deref() != Some(PROTOCOL_TRAIT) {
+            continue;
+        }
+        let Some(owner) = f.owner.clone() else {
+            continue;
+        };
+        let path = index.path(f.file).to_string();
+        if !in_library(&path) {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let anchor = (path.clone(), f.line, f.col);
+        let hex = index.hex_in(f.file, body);
+        if !hex.is_empty() {
+            for (v, _) in hex {
+                add(v, StreamKey::SeedTweak(owner.clone()), anchor.clone());
+            }
+            continue;
+        }
+        let consts = index.const_refs_in(f.file, body);
+        let resolved: Vec<u128> = consts
+            .iter()
+            .filter_map(|n| index.resolve_const(n).map(|c| c.value))
+            .collect();
+        if resolved.is_empty() {
+            out.push(finding(
+                &path,
+                f.line,
+                f.col,
+                RNG_STREAM,
+                format!(
+                    "`{owner}::seed_tweak` does not return a resolvable constant tweak: \
+                     return a hex literal or a workspace-unique named constant"
+                ),
+            ));
+        } else {
+            for v in resolved {
+                add(v, StreamKey::SeedTweak(owner.clone()), anchor.clone());
+            }
+        }
+    }
+
+    for (value, keyed) in &streams {
+        if keyed.len() < 2 {
+            continue;
+        }
+        let members: Vec<String> = keyed.keys().map(|k| k.describe()).collect();
+        for (key, (file, line, col)) in keyed {
+            let others: Vec<&String> = members.iter().filter(|m| **m != key.describe()).collect();
+            out.push(finding(
+                file,
+                *line,
+                *col,
+                RNG_STREAM,
+                format!(
+                    "RNG tweak {value:#x} is shared by {} independent streams \
+                     (this one and {}): XOR-derived streams with equal tweaks are \
+                     perfectly correlated — pick a fresh tweak or share one named constant",
+                    keyed.len(),
+                    others
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Everything R1–R3 need about one protocol implementation.
+struct Protocol<'a> {
+    imp: &'a ImplBlock,
+    /// Identifiers that count as "mentioning" this protocol: the impl type
+    /// itself, provider types with `fn protocol(&self) -> T`, and free
+    /// functions in the protocol directory whose body references `T`
+    /// (e.g. `run_global` for `GlobalProtocol`).
+    aliases: BTreeSet<String>,
+}
+
+fn protocols(index: &WorkspaceIndex) -> Vec<Protocol<'_>> {
+    let mut out = Vec::new();
+    for imp in &index.impls {
+        if imp.trait_name.as_deref() != Some(PROTOCOL_TRAIT)
+            || !index.path(imp.file).starts_with(PROTOCOL_DIR)
+        {
+            continue;
+        }
+        let mut aliases = BTreeSet::new();
+        aliases.insert(imp.type_name.clone());
+        for f in &index.fns {
+            if !index.path(f.file).starts_with(PROTOCOL_DIR) {
+                continue;
+            }
+            // Provider: `fn protocol(&self) -> T` on a config type.
+            if f.name == "protocol" && f.ret.contains(&imp.type_name) {
+                if let Some(owner) = &f.owner {
+                    aliases.insert(owner.clone());
+                }
+            }
+            // Free function whose body references the type (one hop).
+            if f.owner.is_none() {
+                if let Some(body) = f.body {
+                    if index.range_refs(f.file, body, &imp.type_name) {
+                        aliases.insert(f.name.clone());
+                    }
+                }
+            }
+        }
+        out.push(Protocol { imp, aliases });
+    }
+    out
+}
+
+fn impl_finding(
+    index: &WorkspaceIndex,
+    imp: &ImplBlock,
+    rule: &'static str,
+    message: String,
+) -> Finding {
+    finding(index.path(imp.file), imp.line, imp.col, rule, message)
+}
+
+/// R1–R3 over the protocol surface.
+fn protocol_surface(index: &WorkspaceIndex, readme: Option<(&str, &str)>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let protos = protocols(index);
+
+    let factory = index.enums.iter().find(|e| e.name == "Framework");
+    let parse_fn = index.fns.iter().find(|f| f.name == "parse_framework");
+    let golden = index
+        .files
+        .iter()
+        .position(|f| f.path.ends_with("tests/golden_curves.rs"));
+    let chaos = index
+        .files
+        .iter()
+        .position(|f| f.path.ends_with("tests/chaos.rs"));
+
+    for p in &protos {
+        let ty = &p.imp.type_name;
+
+        // R1(a): reachable from the Framework factory.
+        match factory {
+            Some(e) => {
+                let reachable = p
+                    .aliases
+                    .iter()
+                    .any(|a| index.files[e.file].idents.contains(a));
+                if !reachable {
+                    out.push(impl_finding(
+                        index,
+                        p.imp,
+                        PROTOCOL_FACTORY,
+                        format!(
+                            "`{ty}` implements `FlProtocol` but is not reachable from the \
+                             `Framework` factory in {}: add a variant (or construct it from \
+                             an existing one) so experiments can select it",
+                            index.path(e.file)
+                        ),
+                    ));
+                }
+            }
+            None => out.push(impl_finding(
+                index,
+                p.imp,
+                PROTOCOL_FACTORY,
+                format!(
+                    "`{ty}` implements `FlProtocol` but the workspace has no \
+                     `enum Framework` factory to expose it"
+                ),
+            )),
+        }
+
+        // R2: sync + async golden pins.
+        let (has_sync, has_async) = match golden {
+            Some(gf) => {
+                let mut s = false;
+                let mut a = false;
+                for t in index.tests.iter().filter(|t| t.file == gf) {
+                    if !p.aliases.iter().any(|al| t.refs.contains(al)) {
+                        continue;
+                    }
+                    if t.refs.contains("AsyncDriver") {
+                        a = true;
+                    } else {
+                        s = true;
+                    }
+                }
+                (s, a)
+            }
+            None => (false, false),
+        };
+        if !has_sync {
+            out.push(impl_finding(
+                index,
+                p.imp,
+                PROTOCOL_PINS,
+                format!(
+                    "`{ty}` has no sync golden pin: add a `#[test]` in \
+                     `crates/fl/tests/golden_curves.rs` that runs it through the sync \
+                     driver and pins its curve"
+                ),
+            ));
+        }
+        if !has_async {
+            out.push(impl_finding(
+                index,
+                p.imp,
+                PROTOCOL_PINS,
+                format!(
+                    "`{ty}` has no async golden pin: add a `#[test]` in \
+                     `crates/fl/tests/golden_curves.rs` that runs it under `AsyncDriver` \
+                     and pins its curve"
+                ),
+            ));
+        }
+
+        // R3(a): chaos sweep coverage.
+        let swept = chaos
+            .map(|cf| {
+                p.aliases
+                    .iter()
+                    .any(|al| index.files[cf].all_idents.contains(al))
+            })
+            .unwrap_or(false);
+        if !swept {
+            out.push(impl_finding(
+                index,
+                p.imp,
+                PROTOCOL_ZOO,
+                format!(
+                    "`{ty}` is not exercised by the chaos sweep in \
+                     `crates/fl/tests/chaos.rs`: fault-tolerance claims only cover \
+                     protocols the sweep runs"
+                ),
+            ));
+        }
+    }
+
+    // R1(b): every Framework variant must be constructed in the
+    // parse_framework file (`Framework::V` somewhere in it).
+    if let Some(e) = factory {
+        match parse_fn {
+            Some(pf) => {
+                let qrefs = &index.files[pf.file].qualified_refs;
+                for (variant, line) in &e.variants {
+                    if !qrefs.contains(&("Framework".to_string(), variant.clone())) {
+                        out.push(finding(
+                            index.path(e.file),
+                            *line,
+                            1,
+                            PROTOCOL_FACTORY,
+                            format!(
+                                "`Framework::{variant}` is never constructed in the \
+                                 `parse_framework` file {}: CLI/bench runs cannot select it",
+                                index.path(pf.file)
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => {
+                if !protos.is_empty() {
+                    out.push(finding(
+                        index.path(e.file),
+                        e.line,
+                        e.col,
+                        PROTOCOL_FACTORY,
+                        "`enum Framework` exists but no `parse_framework` function does: \
+                         protocols cannot be selected by name"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // R3(b)/(c): parse_framework arms ↔ README zoo table rows.
+    if let Some(pf) = parse_fn {
+        if let Some(body) = pf.body {
+            let arms: Vec<_> = index
+                .arm_strs
+                .iter()
+                .filter(|a| a.file == pf.file && a.start >= body.0 && a.start < body.1)
+                .collect();
+            let rows = readme.map(|(_, text)| zoo_rows(text)).unwrap_or_default();
+            let row_names: BTreeSet<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+            let arm_names: BTreeSet<&str> = arms.iter().map(|a| a.value.as_str()).collect();
+            for a in &arms {
+                if !row_names.contains(a.value.as_str()) {
+                    out.push(finding(
+                        index.path(pf.file),
+                        a.line,
+                        a.col,
+                        PROTOCOL_ZOO,
+                        format!(
+                            "`parse_framework` accepts `{}` but the README zoo table has \
+                             no such row: document the protocol (knobs and defaults) in \
+                             the `--framework` table",
+                            a.value
+                        ),
+                    ));
+                }
+            }
+            if let Some((readme_path, _)) = readme {
+                for (name, line) in &rows {
+                    if !arm_names.contains(name.as_str()) {
+                        out.push(finding(
+                            readme_path,
+                            *line,
+                            1,
+                            PROTOCOL_ZOO,
+                            format!(
+                                "README zoo table documents `{name}` but `parse_framework` \
+                                 has no such arm: the row is dead documentation"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Parse the README `--framework` zoo table: returns `(name, line)` for
+/// each row after the header, first cell with backticks stripped.
+fn zoo_rows(readme: &str) -> Vec<(String, usize)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for (i, line) in readme.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            if in_table {
+                break;
+            }
+            continue;
+        }
+        let first_cell = trimmed
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_matches('`')
+            .to_string();
+        if !in_table {
+            if first_cell == "--framework" {
+                in_table = true;
+            }
+            continue;
+        }
+        if first_cell.chars().all(|c| c == '-' || c == ':') {
+            continue; // separator row
+        }
+        rows.push((first_cell, line_no));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(files: &[(&str, &str)]) -> WorkspaceIndex {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        WorkspaceIndex::build(&sources)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn literal_tweak_collision_across_files_is_reported_at_both_sites() {
+        let index = idx(&[
+            (
+                "crates/fl/src/a.rs",
+                "pub fn a(seed: u64) { StdRng::seed_from_u64(seed ^ 0xC0FFEE); }\n",
+            ),
+            (
+                "crates/fl/src/b.rs",
+                "pub fn b(seed: u64) { StdRng::seed_from_u64(seed ^ 0xC0FFEE); }\n",
+            ),
+        ]);
+        let fs = rng_streams(&index);
+        assert_eq!(rules_of(&fs), vec![RNG_STREAM, RNG_STREAM]);
+        assert!(fs.iter().any(|f| f.file == "crates/fl/src/a.rs"));
+        assert!(fs.iter().any(|f| f.file == "crates/fl/src/b.rs"));
+    }
+
+    #[test]
+    fn same_value_in_one_file_or_shared_const_is_one_stream() {
+        let index = idx(&[
+            (
+                "crates/fl/src/a.rs",
+                "pub fn a(seed: u64, r: u64) {\n\
+                 StdRng::seed_from_u64(seed ^ 0xEAE5 ^ r);\n\
+                 StdRng::seed_from_u64(seed ^ 0xEAE5 ^ (r + 1));\n}\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "pub const SPLIT_TWEAK: u64 = 0x5B11;\n\
+                 pub fn b(seed: u64) { StdRng::seed_from_u64(seed ^ SPLIT_TWEAK); }\n",
+            ),
+            (
+                "crates/bench/src/c.rs",
+                "pub fn c(seed: u64) { StdRng::seed_from_u64(seed ^ SPLIT_TWEAK); }\n",
+            ),
+        ]);
+        assert!(rng_streams(&index).is_empty());
+    }
+
+    #[test]
+    fn seed_tweak_impls_join_the_registry_and_must_resolve() {
+        let index = idx(&[(
+            "crates/fl/src/p.rs",
+            "impl FlProtocol for A {\n  fn seed_tweak(&self) -> u64 { 0xAA }\n}\n\
+             impl FlProtocol for B {\n  fn seed_tweak(&self) -> u64 { 0xAA }\n}\n\
+             impl FlProtocol for C {\n  fn seed_tweak(&self) -> u64 { self.dynamic }\n}\n",
+        )]);
+        let fs = rng_streams(&index);
+        // A/B collide (two findings), C is unresolvable (one finding).
+        assert_eq!(fs.iter().filter(|f| f.rule == RNG_STREAM).count(), 3);
+        assert!(fs
+            .iter()
+            .any(|f| f.message.contains("`C::seed_tweak`") || f.message.contains("C::seed_tweak")));
+    }
+
+    #[test]
+    fn unresolvable_const_tweak_is_reported() {
+        let index = idx(&[(
+            "crates/fl/src/a.rs",
+            "pub fn a(seed: u64) { StdRng::seed_from_u64(seed ^ MYSTERY_TWEAK); }\n",
+        )]);
+        let fs = rng_streams(&index);
+        assert_eq!(rules_of(&fs), vec![RNG_STREAM]);
+        assert!(fs[0].message.contains("MYSTERY_TWEAK"));
+    }
+
+    const WIRED: &[(&str, &str)] = &[
+        (
+            "crates/fl/src/good.rs",
+            "pub struct Good;\nimpl Good {\n  pub fn new() -> Self { Good }\n}\n\
+             impl FlProtocol for Good {\n  fn seed_tweak(&self) -> u64 { 0x600D }\n}\n",
+        ),
+        (
+            "crates/core/src/experiment.rs",
+            "pub enum Framework { Good }\n\
+             pub fn protocol(fw: &Framework) -> Good {\n\
+                 match fw { Framework::Good => Good::new() }\n}\n",
+        ),
+        (
+            "crates/bench/src/lib.rs",
+            "pub fn parse_framework(name: &str) -> Result<Framework, String> {\n\
+                 match name {\n        \"good\" => Ok(Framework::Good),\n\
+                 other => Err(other.to_string()),\n    }\n}\n",
+        ),
+        (
+            "crates/fl/tests/golden_curves.rs",
+            "#[test]\nfn golden_good() { Good::new().run(); }\n\
+             #[test]\nfn golden_async_good() { AsyncDriver::new().run(&mut Good::new()); }\n",
+        ),
+        (
+            "crates/fl/tests/chaos.rs",
+            "fn sweep() { Good::new().run(); }\n",
+        ),
+    ];
+
+    const README: &str = "| `--framework` | protocol |\n|---|---|\n| `good` | the good one |\n";
+
+    #[test]
+    fn fully_wired_protocol_is_clean() {
+        let index = idx(WIRED);
+        assert!(protocol_surface(&index, Some(("README.md", README))).is_empty());
+    }
+
+    #[test]
+    fn orphan_protocol_gets_one_finding_per_missing_edge() {
+        let mut files = WIRED.to_vec();
+        files.push((
+            "crates/fl/src/orphan.rs",
+            "pub struct Orphan;\nimpl FlProtocol for Orphan {\n  \
+             fn seed_tweak(&self) -> u64 { 0x0DD1 }\n}\n",
+        ));
+        let index = idx(&files);
+        let fs = protocol_surface(&index, Some(("README.md", README)));
+        let mut rules = rules_of(&fs);
+        rules.sort();
+        assert_eq!(
+            rules,
+            vec![PROTOCOL_FACTORY, PROTOCOL_PINS, PROTOCOL_PINS, PROTOCOL_ZOO]
+        );
+        assert!(fs.iter().all(|f| f.file == "crates/fl/src/orphan.rs"));
+    }
+
+    #[test]
+    fn provider_and_free_fn_aliases_count_as_reachability() {
+        // Factory constructs via `cfg.protocol()`, golden pin via a free
+        // runner fn — both hops must resolve.
+        let index = idx(&[
+            (
+                "crates/fl/src/p.rs",
+                "pub struct Cfg;\npub struct P;\n\
+                 impl Cfg {\n  pub fn protocol(&self) -> P { P }\n}\n\
+                 impl FlProtocol for P {\n  fn seed_tweak(&self) -> u64 { 0x1 }\n}\n\
+                 pub fn run_p(sys: &mut u8) -> u8 { let p = P; *sys }\n",
+            ),
+            (
+                "crates/core/src/experiment.rs",
+                "pub enum Framework { Cfg(Cfg) }\n\
+                 pub fn protocol(fw: &Framework) -> P {\n\
+                     match fw { Framework::Cfg(c) => c.protocol() }\n}\n",
+            ),
+            (
+                "crates/bench/src/lib.rs",
+                "pub fn parse_framework(name: &str) -> Framework {\n\
+                     match name { \"p\" => Framework::Cfg(Cfg), _ => Framework::Cfg(Cfg) }\n}\n",
+            ),
+            (
+                "crates/fl/tests/golden_curves.rs",
+                "#[test]\nfn golden_p() { run_p(&mut 0); }\n\
+                 #[test]\nfn golden_async_p() { AsyncDriver::new().run(&mut Cfg.protocol()); }\n",
+            ),
+            (
+                "crates/fl/tests/chaos.rs",
+                "fn sweep() { run_p(&mut 0); }\n",
+            ),
+        ]);
+        let readme = "| `--framework` | p |\n|---|---|\n| `p` | provider-backed |\n";
+        let fs = protocol_surface(&index, Some(("README.md", readme)));
+        assert!(fs.is_empty(), "unexpected findings: {fs:?}");
+    }
+
+    #[test]
+    fn zoo_table_drift_is_reported_on_both_sides() {
+        let mut files = WIRED.to_vec();
+        files[2] = (
+            "crates/bench/src/lib.rs",
+            "pub fn parse_framework(name: &str) -> Result<Framework, String> {\n\
+                 match name {\n        \"good\" => Ok(Framework::Good),\n\
+                 \"ghost\" => Ok(Framework::Good),\n\
+                 other => Err(other.to_string()),\n    }\n}\n",
+        );
+        let index = idx(&files);
+        let readme =
+            "| `--framework` | protocol |\n|---|---|\n| `good` | ok |\n| `zombie` | gone |\n";
+        let fs = protocol_surface(&index, Some(("README.md", readme)));
+        assert_eq!(rules_of(&fs), vec![PROTOCOL_ZOO, PROTOCOL_ZOO]);
+        assert!(fs.iter().any(|f| f.message.contains("`ghost`")));
+        assert!(fs
+            .iter()
+            .any(|f| f.file == "README.md" && f.message.contains("`zombie`")));
+    }
+
+    #[test]
+    fn missing_variant_arm_is_anchored_at_the_variant() {
+        let mut files = WIRED.to_vec();
+        files[1] = (
+            "crates/core/src/experiment.rs",
+            "pub enum Framework { Good, Hidden }\n\
+             pub fn protocol(fw: &Framework) -> Good {\n\
+                 match fw { _ => Good::new() }\n}\n",
+        );
+        let index = idx(&files);
+        let fs = protocol_surface(&index, Some(("README.md", README)));
+        assert_eq!(rules_of(&fs), vec![PROTOCOL_FACTORY]);
+        assert!(fs[0].message.contains("Framework::Hidden"));
+        assert_eq!(fs[0].file, "crates/core/src/experiment.rs");
+    }
+
+    #[test]
+    fn zoo_rows_parses_only_the_framework_table() {
+        let text = "| crate | what |\n|---|---|\n| `fedda-fl` | sim |\n\n\
+                    | `--framework` | protocol |\n|---|---|\n| `global` | ub |\n| `fedavg` | avg |\n\nafter\n";
+        let rows = zoo_rows(text);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["global", "fedavg"]);
+    }
+}

@@ -82,6 +82,11 @@ fn suppressed_findings_always_carry_their_reason() {
 }
 
 fn run_lint(args: &[&str]) -> (i32, String) {
+    let (code, stdout, _) = run_lint_full(args);
+    (code, stdout)
+}
+
+fn run_lint_full(args: &[&str]) -> (i32, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_fedda-lint"))
         .args(args)
         .output()
@@ -89,6 +94,7 @@ fn run_lint(args: &[&str]) -> (i32, String) {
     (
         out.status.code().unwrap_or(-1),
         String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
     )
 }
 
@@ -118,6 +124,128 @@ fn binary_exits_zero_on_clean_and_suppressed_fixtures() {
         let (code, _) = run_lint(&["--root", dir.to_str().unwrap(), path.to_str().unwrap()]);
         assert_eq!(code, 0, "expected exit 0 for {good}");
     }
+}
+
+/// Count `error[rule]` lines in a human-readable report.
+fn count_rule(stdout: &str, rule: &str) -> usize {
+    stdout
+        .lines()
+        .filter(|l| l.contains(&format!("error[{rule}]")))
+        .count()
+}
+
+#[test]
+fn tweak_collision_fixture_pins_exactly_two_findings() {
+    let root = fixtures_dir().join("cross").join("tweak_collision");
+    let (code, stdout) = run_lint(&["--root", root.to_str().unwrap()]);
+    assert_eq!(code, 1, "collision fixture must fail the build:\n{stdout}");
+    assert_eq!(count_rule(&stdout, "rng-stream"), 2, "report:\n{stdout}");
+    assert!(stdout.contains("2 finding(s), 0 suppressed"), "{stdout}");
+    // Anchored at both call sites, not just one side of the collision.
+    assert!(stdout.contains("crates/fl/src/alpha.rs:5"), "{stdout}");
+    assert!(stdout.contains("crates/fl/src/beta.rs:5"), "{stdout}");
+}
+
+#[test]
+fn protocol_drift_fixture_pins_one_finding_per_missing_edge() {
+    let root = fixtures_dir().join("cross").join("protocol_drift");
+    let (code, stdout) = run_lint(&["--root", root.to_str().unwrap()]);
+    assert_eq!(code, 1, "drift fixture must fail the build:\n{stdout}");
+    // OrphanProtocol: factory + sync pin + async pin + chaos sweep.
+    assert_eq!(count_rule(&stdout, "protocol-factory"), 1, "{stdout}");
+    assert_eq!(count_rule(&stdout, "protocol-pins"), 2, "{stdout}");
+    // Chaos gap + ghost parse arm + zombie README row.
+    assert_eq!(count_rule(&stdout, "protocol-zoo"), 3, "{stdout}");
+    assert!(stdout.contains("6 finding(s), 0 suppressed"), "{stdout}");
+    assert!(stdout.contains("`ghost`"), "{stdout}");
+    assert!(stdout.contains("README.md:9"), "{stdout}");
+}
+
+#[test]
+fn ratchet_fails_when_a_rule_count_rises_above_baseline() {
+    let root = fixtures_dir().join("cross").join("tweak_collision");
+    let dir = std::env::temp_dir().join(format!("fedda_lint_ratchet_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Write the true baseline: two rng-stream findings.
+    let baseline = dir.join("baseline.json");
+    let (_, _, stderr) = run_lint_full(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--ratchet-write",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(stderr.contains("wrote baseline"), "{stderr}");
+    let written = std::fs::read_to_string(&baseline).unwrap();
+    assert!(written.contains("\"rng-stream\": 2"), "{written}");
+
+    // Against the true baseline the ratchet stays silent.
+    let (_, _, stderr) = run_lint_full(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--ratchet",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(!stderr.contains("ratchet:"), "{stderr}");
+
+    // Doctor the baseline below reality: the ratchet must trip.
+    let doctored = dir.join("doctored.json");
+    std::fs::write(
+        &doctored,
+        "{\n  \"version\": 1,\n  \"counts\": {\n    \"rng-stream\": 1\n  }\n}\n",
+    )
+    .unwrap();
+    let (code, _, stderr) = run_lint_full(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--ratchet",
+        doctored.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1);
+    assert!(
+        stderr.contains("ratchet:") && stderr.contains("rng-stream"),
+        "{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fix_suppressions_removes_only_unused_directives() {
+    // A private mini-workspace so the fix can rewrite files freely.
+    let dir = std::env::temp_dir().join(format!("fedda_lint_fix_{}", std::process::id()));
+    let src = dir.join("crates/fl/src");
+    std::fs::create_dir_all(&src).unwrap();
+    let file = src.join("lib.rs");
+    std::fs::write(
+        &file,
+        "pub fn f(x: u64) -> u32 {\n\
+         // fedda-lint: allow(narrowing-cast, reason = \"bounded by caller\")\n\
+         let y = x as u32;\n\
+         // fedda-lint: allow(wall-clock, reason = \"stale: nothing here ticks\")\n\
+         let z = y + 1;\n\
+         z // fedda-lint: allow(float-eq, reason = \"stale trailing directive\")\n\
+         }\n",
+    )
+    .unwrap();
+
+    let (code, _, stderr) = run_lint_full(&["--root", dir.to_str().unwrap(), "--fix-suppressions"]);
+    assert!(stderr.contains("removed unused suppression"), "{stderr}");
+    let fixed = std::fs::read_to_string(&file).unwrap();
+    assert!(
+        fixed.contains("allow(narrowing-cast"),
+        "used directive must survive:\n{fixed}"
+    );
+    assert!(!fixed.contains("allow(wall-clock"), "{fixed}");
+    assert!(!fixed.contains("allow(float-eq"), "{fixed}");
+    assert!(
+        fixed.contains("z\n"),
+        "code before a trailing directive must survive:\n{fixed}"
+    );
+    // After the fix the tree is clean, so the re-analysis exits 0.
+    assert_eq!(code, 0, "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

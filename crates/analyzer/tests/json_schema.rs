@@ -1,0 +1,92 @@
+//! Contract test for `fedda-lint --json`: CI uploads the report as an
+//! artifact and the ratchet baseline is parsed by the lint binary itself,
+//! so the shape is a public interface. The hand-rolled writer must emit
+//! JSON an independent parser accepts, with the pinned field set.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn lint_json(args: &[&str]) -> Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_fedda-lint"))
+        .args(args)
+        .output()
+        .expect("failed to launch fedda-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    serde_json::from_str(&stdout).unwrap_or_else(|e| panic!("invalid JSON ({e:?}):\n{stdout}"))
+}
+
+#[test]
+fn workspace_json_report_matches_the_schema() {
+    let root = workspace_root();
+    let v = lint_json(&["--json", "--root", root.to_str().unwrap()]);
+
+    let findings = v
+        .get("findings")
+        .and_then(|f| f.as_array())
+        .expect("findings array");
+    for f in findings {
+        assert!(f.get("file").and_then(Value::as_str).is_some(), "{f:?}");
+        assert!(f.get("line").and_then(Value::as_u64).is_some(), "{f:?}");
+        assert!(f.get("col").and_then(Value::as_u64).is_some(), "{f:?}");
+        let rule = f.get("rule").and_then(Value::as_str).expect("rule");
+        assert!(
+            fedda_analyzer::rules::RULE_IDS.contains(&rule),
+            "unknown rule id {rule}"
+        );
+        assert!(f.get("message").and_then(Value::as_str).is_some(), "{f:?}");
+        let suppressed = f
+            .get("suppressed")
+            .and_then(Value::as_bool)
+            .expect("suppressed flag");
+        // `reason` is present exactly on suppressed findings.
+        assert_eq!(f.get("reason").is_some(), suppressed, "{f:?}");
+    }
+
+    let summary = v.get("summary").expect("summary object");
+    let scanned = summary
+        .get("files_scanned")
+        .and_then(Value::as_u64)
+        .expect("files_scanned");
+    assert!(scanned > 30, "suspiciously few files: {scanned}");
+    let unsuppressed = summary
+        .get("unsuppressed")
+        .and_then(Value::as_u64)
+        .expect("unsuppressed");
+    let suppressed = summary
+        .get("suppressed")
+        .and_then(Value::as_u64)
+        .expect("suppressed");
+    assert_eq!(unsuppressed + suppressed, findings.len() as u64);
+}
+
+#[test]
+fn committed_baseline_parses_and_matches_the_live_tree() {
+    // The committed ratchet baseline must stay in sync with reality:
+    // a PR that suppresses a new finding without regenerating
+    // `lint-baseline.json` trips the ratchet in CI, and one that fixes
+    // findings should lower the baseline (the ratchet only stops rises,
+    // this test stops staleness in both directions).
+    let root = workspace_root();
+    let text =
+        std::fs::read_to_string(root.join("lint-baseline.json")).expect("lint-baseline.json");
+    let v: Value = serde_json::from_str(&text).expect("baseline is valid JSON");
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+
+    let report = fedda_analyzer::analyze_workspace(&root).expect("scan failed");
+    let live = fedda_analyzer::ratchet::Baseline::from_findings(&report.findings);
+    let committed =
+        fedda_analyzer::ratchet::Baseline::parse(&text).expect("baseline parses with own parser");
+    assert_eq!(
+        committed.counts, live.counts,
+        "lint-baseline.json is stale — regenerate with \
+         `cargo lint --ratchet-write lint-baseline.json`"
+    );
+}

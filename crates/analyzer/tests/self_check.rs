@@ -56,3 +56,38 @@ fn every_exemption_in_force_carries_a_reason() {
         "driver.rs round-timing exemption disappeared — did the telemetry move?"
     );
 }
+
+#[test]
+fn cross_file_rules_run_on_the_live_workspace() {
+    // The cross-file families must actually execute against the real tree
+    // (a broken index would silently pass the zero-findings gate): the
+    // Global baseline's two documented drift exemptions are the sentinel.
+    let report = fedda_analyzer::analyze_workspace(&workspace_root()).expect("scan failed");
+    let global_exemptions: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.suppressed && f.file.ends_with("fl/src/baselines.rs"))
+        .map(|f| f.rule)
+        .collect();
+    assert!(
+        global_exemptions.contains(&"protocol-pins") && global_exemptions.contains(&"protocol-zoo"),
+        "GlobalProtocol's reasoned async-pin/chaos exemptions disappeared — \
+         either the cross-file index broke or Global grew real coverage \
+         (then delete this sentinel and the directives): {global_exemptions:?}"
+    );
+    // And no unsuppressed cross-family finding may exist (subset of the
+    // zero-findings gate, but phrased per family for a sharper message).
+    for rule in [
+        "rng-stream",
+        "protocol-factory",
+        "protocol-pins",
+        "protocol-zoo",
+    ] {
+        let hits: Vec<String> = report
+            .unsuppressed()
+            .filter(|f| f.rule == rule)
+            .map(|f| format!("{}:{}", f.file, f.line))
+            .collect();
+        assert!(hits.is_empty(), "live {rule} findings: {hits:?}");
+    }
+}

@@ -8,7 +8,7 @@
 //! [--json out.json]`
 
 use fedda::data::{non_iidness, partition_non_iid, PartitionConfig};
-use fedda::experiment::Dataset;
+use fedda::experiment::{Dataset, SPLIT_STREAM_TWEAK};
 use fedda::fl::{FedAvg, FedDa, FlConfig, FlSystem};
 use fedda::hetgraph::split::split_edges;
 use fedda::table::TextTable;
@@ -27,7 +27,9 @@ fn main() {
         ..Default::default()
     };
     let generated = fedda::data::dblp_like(&preset);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5B11);
+    // Same split stream as `Experiment::new` — this sweep re-derives the
+    // split outside the Experiment facade but must see identical data.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ SPLIT_STREAM_TWEAK);
     let split = split_edges(&generated.graph, 0.15, &mut rng);
 
     println!(

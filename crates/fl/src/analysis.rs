@@ -4,6 +4,16 @@
 //! expected fraction of deactivated disentangled parameters `r_p`, the
 //! paper derives the expected number of communicated parameters for both
 //! strategies and bounds the ratio against vanilla FedAvg (`t_0 · M · N`).
+//!
+//! The paper's model counts parameter *units*; the ledger
+//! ([`CommLog`](crate::CommLog)) additionally measures wire *bytes*, which
+//! depend on the uplink codec ([`Compression`]). The `*_bytes` functions
+//! below extend the closed forms to byte denominations: [`report_bytes`]
+//! gives the exact wire size of one full (unmasked) report under a codec,
+//! and the ratio variants scale the unit-count ratios by the codec's
+//! byte factor against the uncompressed 4-bytes-per-scalar baseline.
+
+use crate::compress::{k_of, Compression};
 
 /// Inputs of the analytic model.
 #[derive(Clone, Copy, Debug)]
@@ -123,6 +133,64 @@ pub fn explore_expected_units(
         + m * n * beta_e * (1.0 - inp.r_c)
 }
 
+/// Exact wire bytes of one fully-transmitted parameter unit of `len`
+/// scalars under `codec` — the analytic mirror of
+/// [`Payload::wire_bytes`](crate::compress::Payload::wire_bytes):
+/// `None`/`Identity` 4·len, `QuantF16` 2·len, `QuantI8` 1·len, `TopK`
+/// 8 bytes per kept scalar with `k = ⌊frac·len⌋`. Per-unit metadata (the
+/// `QuantI8` scale, the `TopK` length header) is excluded by the same
+/// convention the ledger uses.
+pub fn unit_bytes(len: usize, codec: Option<&Compression>) -> usize {
+    match codec {
+        None | Some(Compression::Identity) => 4 * len,
+        Some(Compression::QuantF16) => 2 * len,
+        Some(Compression::QuantI8) => len,
+        Some(Compression::TopK { frac }) => 8 * k_of(*frac, len),
+    }
+}
+
+/// Exact wire bytes of one full (all units, no masking) client report
+/// whose units have `unit_lens` scalars each, under `codec`.
+pub fn report_bytes(unit_lens: &[usize], codec: Option<&Compression>) -> usize {
+    unit_lens.iter().map(|&len| unit_bytes(len, codec)).sum()
+}
+
+/// The codec's byte factor against the uncompressed wire: wire bytes of a
+/// full report under `codec` divided by its raw `4 × scalars` size.
+/// `Identity`/`None` → 1.0, `QuantF16` → 0.5, `QuantI8` → 0.25, `TopK`
+/// → slightly under `2·frac` (the floor in `k` rounds down per unit).
+pub fn codec_byte_factor(unit_lens: &[usize], codec: Option<&Compression>) -> f64 {
+    let raw = report_bytes(unit_lens, None);
+    if raw == 0 {
+        return 0.0;
+    }
+    report_bytes(unit_lens, codec) as f64 / raw as f64
+}
+
+/// Eq. 9 in byte denomination: expected `Restart` wire bytes under `codec`
+/// divided by vanilla FedAvg's *uncompressed* bytes over the same `t_0`
+/// rounds. The unit-count model treats units as interchangeable, so the
+/// byte ratio factors as (unit ratio) × (codec byte factor).
+pub fn restart_ratio_bytes(
+    inp: &EfficiencyInputs,
+    beta_r: f64,
+    unit_lens: &[usize],
+    codec: Option<&Compression>,
+) -> f64 {
+    restart_ratio(inp, beta_r) * codec_byte_factor(unit_lens, codec)
+}
+
+/// Eq. 11 in byte denomination: upper bound on the `Explore` strategy's
+/// per-round wire bytes under `codec` against uncompressed FedAvg.
+pub fn explore_ratio_bound_bytes(
+    inp: &EfficiencyInputs,
+    beta_e: f64,
+    unit_lens: &[usize],
+    codec: Option<&Compression>,
+) -> f64 {
+    explore_ratio_bound(inp, beta_e) * codec_byte_factor(unit_lens, codec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +265,47 @@ mod tests {
         inp.r_p = 0.9;
         let strong = explore_ratio_bound(&inp, 0.667);
         assert!(strong < weak);
+    }
+
+    #[test]
+    fn unit_bytes_matches_codec_wire_format() {
+        assert_eq!(unit_bytes(10, None), 40);
+        assert_eq!(unit_bytes(10, Some(&Compression::Identity)), 40);
+        assert_eq!(unit_bytes(10, Some(&Compression::QuantF16)), 20);
+        assert_eq!(unit_bytes(10, Some(&Compression::QuantI8)), 10);
+        // k = floor(0.25 * 10) = 2 kept scalars at 8 bytes each.
+        assert_eq!(unit_bytes(10, Some(&Compression::TopK { frac: 0.25 })), 16);
+        assert_eq!(unit_bytes(3, Some(&Compression::TopK { frac: 0.25 })), 0);
+    }
+
+    #[test]
+    fn codec_byte_factor_against_raw() {
+        let lens = [10, 7, 3];
+        assert!((codec_byte_factor(&lens, None) - 1.0).abs() < 1e-12);
+        assert!(
+            (codec_byte_factor(&lens, Some(&Compression::QuantF16)) - 0.5).abs() < 1e-12,
+            "f16 halves the wire"
+        );
+        assert!((codec_byte_factor(&lens, Some(&Compression::QuantI8)) - 0.25).abs() < 1e-12);
+        // TopK floors per unit: k = 5 + 3 + 1 = 9 of 20 scalars, 8 B each.
+        let topk = codec_byte_factor(&lens, Some(&Compression::TopK { frac: 0.5 }));
+        assert!((topk - 72.0 / 80.0).abs() < 1e-12, "topk factor {topk}");
+        assert_eq!(codec_byte_factor(&[], Some(&Compression::QuantI8)), 0.0);
+    }
+
+    #[test]
+    fn byte_ratios_scale_unit_ratios() {
+        let inp = inputs();
+        let lens = [100, 50, 25];
+        let unit_ratio = restart_ratio(&inp, 0.4);
+        let byte_ratio = restart_ratio_bytes(&inp, 0.4, &lens, Some(&Compression::QuantF16));
+        assert!((byte_ratio - unit_ratio * 0.5).abs() < 1e-12);
+        // Identity leaves the ratio untouched.
+        let same = restart_ratio_bytes(&inp, 0.4, &lens, Some(&Compression::Identity));
+        assert!((same - unit_ratio).abs() < 1e-12);
+        let bound = explore_ratio_bound(&inp, 0.667);
+        let bound_b = explore_ratio_bound_bytes(&inp, 0.667, &lens, Some(&Compression::QuantI8));
+        assert!((bound_b - bound * 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -60,6 +60,8 @@ impl Default for GlobalProtocol {
     }
 }
 
+// fedda-lint: allow(protocol-pins, reason = "Global is a centralised upper bound: one client holds the full graph, so async staleness (k, gamma) cannot arise and an async pin would duplicate the sync curve")
+// fedda-lint: allow(protocol-zoo, reason = "Global trains on the server's own full graph; client dropout/garbage faults have no channel to act on, so the chaos sweep has nothing to exercise")
 impl FlProtocol for GlobalProtocol {
     fn name(&self) -> String {
         "Global".into()

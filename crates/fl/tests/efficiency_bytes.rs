@@ -1,0 +1,110 @@
+//! Cross-check of the analytic per-codec byte model (ROADMAP item 4(b),
+//! `analysis::report_bytes`) against the communication ledger: on a FedAvg
+//! run with full participation and full masks, every selected client
+//! uploads every unit each round, so the ledgered uplink bytes must equal
+//! `rounds × M × report_bytes(unit_lens, codec)` exactly — no tolerance,
+//! the closed form mirrors `Payload::wire_bytes` byte for byte.
+
+use fedda_data::{dblp_like, partition_non_iid, PartitionConfig, PresetOptions};
+use fedda_fl::analysis::{codec_byte_factor, report_bytes};
+use fedda_fl::{Compression, FedAvg, FlConfig, FlSystem};
+use fedda_hetgraph::split::split_edges;
+use fedda_hgn::{HgnConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 4;
+const ROUNDS: usize = 3;
+const SEED: u64 = 7;
+
+fn small_system() -> FlSystem {
+    let g = dblp_like(&PresetOptions {
+        scale: 0.0015,
+        seed: SEED,
+        ..Default::default()
+    })
+    .graph;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let split = split_edges(&g, 0.15, &mut rng);
+    let pcfg = PartitionConfig::paper_defaults(M, g.schema().num_edge_types(), SEED);
+    let clients = partition_non_iid(&split.train, &pcfg);
+    let cfg = FlConfig {
+        rounds: ROUNDS,
+        model: HgnConfig {
+            hidden_dim: 4,
+            num_layers: 1,
+            num_heads: 2,
+            edge_emb_dim: 4,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            local_epochs: 1,
+            lr: 5e-3,
+            ..Default::default()
+        },
+        eval_negatives: 2,
+        seed: SEED,
+        ..Default::default()
+    };
+    FlSystem::new(&split.train, &split.test, clients, cfg)
+}
+
+fn unit_lens(system: &FlSystem) -> Vec<usize> {
+    system.global.iter().map(|(_, p)| p.len()).collect()
+}
+
+fn ledgered_bytes(codec: Option<Compression>) -> (usize, Vec<usize>) {
+    let mut sys = small_system();
+    sys.set_compression(codec);
+    let lens = unit_lens(&sys);
+    let result = FedAvg::vanilla().run(&mut sys);
+    (result.comm.total_uplink_bytes(), lens)
+}
+
+#[test]
+fn uncompressed_ledger_matches_closed_form() {
+    let (bytes, lens) = ledgered_bytes(None);
+    assert_eq!(bytes, ROUNDS * M * report_bytes(&lens, None));
+}
+
+#[test]
+fn identity_ledger_matches_closed_form() {
+    let (bytes, lens) = ledgered_bytes(Some(Compression::Identity));
+    assert_eq!(
+        bytes,
+        ROUNDS * M * report_bytes(&lens, Some(&Compression::Identity))
+    );
+    // Identity frames the same bytes as the uncompressed path.
+    assert_eq!(
+        report_bytes(&lens, Some(&Compression::Identity)),
+        report_bytes(&lens, None)
+    );
+}
+
+#[test]
+fn f16_ledger_matches_closed_form() {
+    let (bytes, lens) = ledgered_bytes(Some(Compression::QuantF16));
+    assert_eq!(
+        bytes,
+        ROUNDS * M * report_bytes(&lens, Some(&Compression::QuantF16))
+    );
+}
+
+#[test]
+fn i8_ledger_matches_closed_form() {
+    let (bytes, lens) = ledgered_bytes(Some(Compression::QuantI8));
+    assert_eq!(
+        bytes,
+        ROUNDS * M * report_bytes(&lens, Some(&Compression::QuantI8))
+    );
+}
+
+#[test]
+fn topk_ledger_matches_closed_form() {
+    let codec = Compression::TopK { frac: 0.25 };
+    let (bytes, lens) = ledgered_bytes(Some(codec));
+    assert_eq!(bytes, ROUNDS * M * report_bytes(&lens, Some(&codec)));
+    // The per-unit floor makes TopK strictly cheaper than 2·frac·raw.
+    let factor = codec_byte_factor(&lens, Some(&codec));
+    assert!(factor <= 0.5 + 1e-12, "topk factor {factor}");
+}

@@ -14,7 +14,7 @@ use fedda::hgn::{evaluate, GraphView, HgnConfig, SimpleHgn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("fedda_archive_demo");
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -30,23 +30,23 @@ fn main() {
     let clients = partition_non_iid(&split.train, &pcfg);
 
     // 2. Archive everything.
-    io::save_json(&split.train, &dir.join("global_train.json")).expect("save train");
-    io::save_json(&split.test, &dir.join("global_test.json")).expect("save test");
+    io::save_json(&split.train, &dir.join("global_train.json"))?;
+    io::save_json(&split.test, &dir.join("global_test.json"))?;
     for (i, c) in clients.iter().enumerate() {
-        io::save_json(&c.graph, &dir.join(format!("client_{i}.json"))).expect("save client");
+        io::save_json(&c.graph, &dir.join(format!("client_{i}.json")))?;
     }
-    let archived: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    let archived: Vec<_> = std::fs::read_dir(&dir)?.collect();
     println!("archived {} graphs to {}", archived.len(), dir.display());
 
     // 3. Reload and verify bit-identity.
-    let train2 = io::load_json(&dir.join("global_train.json")).expect("load train");
+    let train2 = io::load_json(&dir.join("global_train.json"))?;
     assert_eq!(
         GraphDoc::from_graph(&train2),
         GraphDoc::from_graph(&split.train),
         "reloaded train graph differs"
     );
     for (i, c) in clients.iter().enumerate() {
-        let g = io::load_json(&dir.join(format!("client_{i}.json"))).expect("load client");
+        let g = io::load_json(&dir.join(format!("client_{i}.json")))?;
         assert_eq!(GraphDoc::from_graph(&g), GraphDoc::from_graph(&c.graph));
     }
     println!("reloaded graphs are bit-identical");
@@ -60,7 +60,7 @@ fn main() {
     };
     let (model, params) =
         SimpleHgn::init_params(split.train.schema(), &cfg, &mut StdRng::seed_from_u64(2));
-    let test2 = io::load_json(&dir.join("global_test.json")).expect("load test");
+    let test2 = io::load_json(&dir.join("global_test.json"))?;
     let eval = |train: &fedda::hetgraph::HeteroGraph, test: &fedda::hetgraph::HeteroGraph| {
         let view = GraphView::new(train, cfg.add_self_loops);
         let sampler = LinkSampler::new(train);
@@ -77,4 +77,5 @@ fn main() {
         original.roc_auc, original.mrr
     );
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
 }

@@ -10,7 +10,7 @@ use fedda::fl::analysis::{
     explore_ratio_bound, restart_expected_units, restart_period, restart_ratio, EfficiencyInputs,
 };
 
-fn main() {
+fn main() -> Result<(), String> {
     // A paper-sized deployment: Simple-HGN has ~65 named parameter tensors,
     // ~20 of which are per-edge-type (disentangled); 16 hospitals.
     let inputs = EfficiencyInputs {
@@ -20,7 +20,7 @@ fn main() {
         r_c: 0.8,
         r_p: 0.5,
     };
-    inputs.validate().expect("valid inputs");
+    inputs.validate()?;
     println!(
         "Deployment: M={} clients, N={} units (N_d={} disentangled), r_c={}, r_p={}\n",
         inputs.m, inputs.n, inputs.n_d, inputs.r_c, inputs.r_p
@@ -61,4 +61,5 @@ fn main() {
          saves more traffic but (per the paper's Fig. 6) risks final accuracy —\n\
          the paper lands on β_r = 0.4 and β_e = 0.667 as the sweet spots."
     );
+    Ok(())
 }
